@@ -1,0 +1,249 @@
+(* muirc — the command-line driver of the μIR toolchain.
+
+     muirc ir       prog.mc            print the compiler IR
+     muirc graph    prog.mc            print the μIR circuit
+     muirc chisel   prog.mc [-o f]     emit Chisel for the accelerator
+     muirc simulate prog.mc [-O pass]  cycle-accurate simulation
+     muirc synth    prog.mc [-O pass]  FPGA/ASIC synthesis estimates
+     muirc workload name [-O pass]     same, for a bundled benchmark
+
+   Passes (-O, repeatable, applied in order):
+     fusion | queuing | tiling=N | localize | spad-bank=N | cache-bank=N
+     | tensor | loop-stack | cilk-stack | tensor-stack | best *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile path = Muir_frontend.Frontend.compile (read_file path)
+
+let handle_frontend f =
+  try f () with
+  | e -> (
+    match Muir_frontend.Frontend.describe_error e with
+    | Some msg ->
+      Fmt.epr "%s@." msg;
+      exit 1
+    | None -> raise e)
+
+(* -O pass parsing *)
+let parse_pass (s : string) : Muir_opt.Pass.t list option =
+  let int_arg prefix =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      int_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "fusion" -> Some [ Muir_opt.Fusion.pass ]
+  | "queuing" -> Some [ Muir_opt.Structural.queuing_pass () ]
+  | "localize" -> Some [ Muir_opt.Structural.localization_pass () ]
+  | "tensor" -> Some [ Muir_opt.Tensor.pass ]
+  | "loop-stack" -> Some (Muir_opt.Stacks.loop_stack ())
+  | "cilk-stack" -> Some (Muir_opt.Stacks.cilk_stack ())
+  | "tensor-stack" -> Some (Muir_opt.Stacks.tensor_stack ())
+  | "best" -> Some (Muir_opt.Stacks.best_loop_stack ())
+  | _ -> (
+    match int_arg "tiling=" with
+    | Some n -> Some [ Muir_opt.Structural.tiling_pass ~tiles:n () ]
+    | None -> (
+      match int_arg "spad-bank=" with
+      | Some n ->
+        Some [ Muir_opt.Structural.scratchpad_banking_pass ~banks:n () ]
+      | None -> (
+        match int_arg "cache-bank=" with
+        | Some n ->
+          Some [ Muir_opt.Structural.cache_banking_pass ~banks:n () ]
+        | None -> None)))
+
+let passes_conv : Muir_opt.Pass.t list Arg.conv =
+  let parse s =
+    match parse_pass s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Fmt.str "unknown pass %S" s))
+  in
+  Arg.conv (parse, fun ppf ps ->
+      Fmt.(list ~sep:comma string) ppf
+        (List.map (fun (p : Muir_opt.Pass.t) -> p.pname) ps))
+
+let unroll_arg =
+  Arg.(
+    value & flag
+    & info [ "U"; "unroll" ]
+        ~doc:"Apply behaviour-level loop unrolling before building μIR.")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt_all passes_conv []
+    & info [ "O"; "pass" ] ~docv:"PASS"
+        ~doc:
+          "μopt pass to apply (repeatable): fusion, queuing, tiling=N, \
+           localize, spad-bank=N, cache-bank=N, tensor, loop-stack, \
+           cilk-stack, tensor-stack, best.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let optimized_circuit ?(unroll = false) path passes =
+  let p = compile path in
+  if unroll then ignore (Muir_ir.Unroll.unroll p);
+  let c = Muir_core.Build.circuit p in
+  let reports = Muir_opt.Pass.run_all (List.concat passes) c in
+  List.iter (fun r -> Fmt.epr "%a@." Muir_opt.Pass.pp_report r) reports;
+  (p, c)
+
+(* --- commands ------------------------------------------------------ *)
+
+let ir_cmd =
+  let run path =
+    handle_frontend (fun () ->
+        Fmt.pr "%a@." Muir_ir.Program.pp (compile path))
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Print the compiler IR of a program.")
+    Term.(const run $ file_arg)
+
+let graph_cmd =
+  let run path passes unroll =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit ~unroll path passes in
+        Fmt.pr "%a@." Muir_core.Graph.pp_circuit c)
+  in
+  Cmd.v (Cmd.info "graph" ~doc:"Print the μIR circuit graph.")
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
+
+let dot_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT")
+  in
+  let run path passes unroll out =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit ~unroll path passes in
+        let dot = Muir_core.Dot.render c in
+        match out with
+        | None -> print_string dot
+        | Some f ->
+          let oc = open_out f in
+          output_string oc dot;
+          close_out oc;
+          Fmt.pr "wrote %s@." f)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render the μIR circuit as a Graphviz digraph.")
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out)
+
+let chisel_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT")
+  in
+  let run path passes out =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit path passes in
+        let src = Muir_rtl.Chisel.emit c in
+        match out with
+        | None -> print_string src
+        | Some f ->
+          let oc = open_out f in
+          output_string oc src;
+          close_out oc;
+          Fmt.pr "wrote %s@." f)
+  in
+  Cmd.v (Cmd.info "chisel" ~doc:"Emit Chisel for the accelerator.")
+    Term.(const run $ file_arg $ passes_arg $ out)
+
+let report_simulation (r : Muir_sim.Sim.result) =
+  Fmt.pr "cycles            %d (+%d DMA) = %d@." r.stats.cycles
+    r.stats.dma_cycles r.stats.total_cycles;
+  Fmt.pr "node firings      %d@." r.stats.fires;
+  Fmt.pr "memory requests   %d@." r.stats.mem_requests;
+  List.iter
+    (fun (s : Muir_sim.Memsys.struct_stats) ->
+      Fmt.pr "  %-12s accesses=%d hits=%d misses=%d@." s.ss_name
+        s.ss_accesses s.ss_hits s.ss_misses)
+    r.stats.mem;
+  List.iter
+    (fun (t, n) ->
+      if n > 0 then
+        let util =
+          match List.assoc_opt t r.stats.utilization with
+          | Some u -> Fmt.str " (%.0f%% busy)" (100.0 *. u)
+          | None -> ""
+        in
+        Fmt.pr "  task %-14s %d invocations%s@." t n util)
+    r.stats.invocations
+
+let simulate_cmd =
+  let run path passes unroll =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit ~unroll path passes in
+        let r = Muir_sim.Sim.run c in
+        report_simulation r;
+        Fmt.pr "return value      %s@."
+          (Muir_ir.Types.value_to_string r.value))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of the accelerator.")
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
+
+let synth_cmd =
+  let run path passes =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit path passes in
+        let d = Muir_rtl.Lower.design c in
+        let comps, nets = Muir_rtl.Rtl.size d in
+        Fmt.pr "design: %d components, %d nets@." comps nets;
+        Fmt.pr "@[<v2>histogram:@,%a@]@." Muir_rtl.Rtl.pp_histogram d;
+        Fmt.pr "FPGA (Arria-10-class): %a@." Muir_model.Model.pp_fpga
+          (Muir_model.Model.fpga d);
+        Fmt.pr "ASIC (28 nm):          %a@." Muir_model.Model.pp_asic
+          (Muir_model.Model.asic d))
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"FPGA/ASIC synthesis estimates.")
+    Term.(const run $ file_arg $ passes_arg)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List workloads.") in
+  let run name passes listing =
+    if listing then
+      List.iter
+        (fun (w : Muir_workloads.Workloads.t) ->
+          Fmt.pr "%-10s %-22s %s@." w.wname
+            (Muir_workloads.Workloads.category_to_string w.category)
+            w.description)
+        Muir_workloads.Workloads.all
+    else begin
+      let w = Muir_workloads.Workloads.find name in
+      let p = Muir_workloads.Workloads.program w in
+      let c = Muir_core.Build.circuit ~name:w.wname p in
+      let _ = Muir_opt.Pass.run_all (List.concat passes) c in
+      let r = Muir_sim.Sim.run c in
+      report_simulation r;
+      let cpu = Muir_cpu.Arm.run p in
+      let hls = Muir_hls.Hls.run p in
+      Fmt.pr "ARM A9 model      %.0f cycles @ 1 GHz@." cpu.cpu_cycles;
+      Fmt.pr "HLS model         %.0f cycles@." hls.hls_cycles
+    end
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run a bundled benchmark (try --list with any name).")
+    Term.(const run $ name_arg $ passes_arg $ list_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "muirc" ~version:"1.0.0"
+       ~doc:
+         "μIR: an intermediate representation for transforming and \
+          optimizing the microarchitecture of application accelerators.")
+    [ ir_cmd; graph_cmd; dot_cmd; chisel_cmd; simulate_cmd; synth_cmd;
+      workload_cmd ]
+
+let () = exit (Cmd.eval main)

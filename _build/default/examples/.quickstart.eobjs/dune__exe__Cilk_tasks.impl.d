@@ -1,0 +1,1 @@
+examples/cilk_tasks.ml: Array Fmt Interp List Memory Muir_core Muir_frontend Muir_ir Muir_opt Muir_sim Muir_workloads Types

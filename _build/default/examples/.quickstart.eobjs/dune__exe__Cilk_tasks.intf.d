@@ -1,0 +1,1 @@
+examples/cilk_tasks.mli:

@@ -1,0 +1,1 @@
+examples/conv1d_design_space.ml: Array Fmt Interp List Memory Muir_core Muir_frontend Muir_ir Muir_model Muir_opt Muir_rtl Muir_sim Muir_workloads Program Types

@@ -1,0 +1,1 @@
+examples/conv1d_design_space.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Interp List Memory Muir_core Muir_frontend Muir_ir Muir_model Muir_opt Muir_rtl Muir_sim Program String Types

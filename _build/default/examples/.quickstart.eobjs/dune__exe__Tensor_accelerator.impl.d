@@ -1,0 +1,1 @@
+examples/tensor_accelerator.ml: Array Fmt Interp List Memory Muir_core Muir_ir Muir_model Muir_opt Muir_rtl Muir_sim Muir_workloads String Types

@@ -1,0 +1,1 @@
+examples/tensor_accelerator.mli:

@@ -1,0 +1,1 @@
+lib/cpu/arm.ml: Array Instr Interp List Muir_ir Program

@@ -1,0 +1,1 @@
+lib/cpu/arm.mli: Muir_ir

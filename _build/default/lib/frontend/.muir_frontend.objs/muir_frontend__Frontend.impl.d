@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Fmt Lexer Lower Muir_ir Parser Typecheck

@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Muir_ir

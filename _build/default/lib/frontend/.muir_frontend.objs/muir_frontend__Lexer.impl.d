@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Ast Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Fmt List Map Muir_ir Option Set String Typecheck

@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Ast Muir_ir

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Fmt Int64 Lexer List

@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Fmt Int64 List Map String

@@ -1,0 +1,87 @@
+(** Abstract syntax of the mini-language.
+
+    The language is the "unmodified software" front door of the
+    toolchain: C-like scalar code with counted loops, conditionals,
+    Cilk-style [spawn]/[sync] and [parallel_for], and the tensor-tile
+    intrinsics used by the paper's [T]-suffixed workloads. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+type ty = Tint | Tfloat | Tbool | Ttile | Tvoid
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tbool -> Fmt.string ppf "bool"
+  | Ttile -> Fmt.string ppf "tile"
+  | Tvoid -> Fmt.string ppf "void"
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor  (** logical and/or — evaluated without short circuit *)
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_node; epos : pos }
+
+and expr_node =
+  | Eint of int64
+  | Efloat of float
+  | Ebool of bool
+  | Evar of string
+  | Eindex of string * expr          (** A[i] *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eternary of expr * expr * expr   (** c ? a : b *)
+  | Ecall of string * expr list      (** call or intrinsic *)
+  | Espawn of string * expr list     (** x = spawn f(...) *)
+  | Ecast of ty * expr               (** int(e) / float(e) *)
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Sdecl of ty * string * expr
+  | Sassign of string * expr
+  | Sstore of string * expr * expr   (** A[i] = e *)
+  | Sif of expr * stmt list * stmt list
+  | Sfor of {
+      init : stmt option;            (** Sdecl or Sassign *)
+      cond : expr;
+      step : stmt option;            (** Sassign *)
+      body : stmt list;
+      parallel : bool;
+    }
+  | Swhile of expr * stmt list
+  | Sspawn of string * expr list     (** spawn f(...); as a statement *)
+  | Ssync
+  | Sreturn of expr option
+  | Sexpr of expr                    (** expression statement (calls) *)
+
+type func = {
+  fname : string;
+  fparams : (string * ty) list;
+  fret : ty;
+  fbody : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gty : ty;   (** element type *)
+  gsize : int;
+  gpos : pos;
+}
+
+type program = { globals : global list; funcs : func list }
+
+(** Intrinsic functions recognized by the type checker; everything
+    else in call position must be a declared function. *)
+let intrinsics =
+  [ "exp"; "sqrt"; "abs"; "min"; "max"; "fmin"; "fmax";
+    "tload"; "tstore"; "tmul"; "tadd"; "trelu" ]
+
+let is_intrinsic n = List.mem n intrinsics

@@ -1,0 +1,155 @@
+(** Hand-written lexer for the mini-language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string       (** keyword *)
+  | PUNCT of string    (** operator / punctuation *)
+  | EOF
+
+let pp_token ppf = function
+  | INT i -> Fmt.pf ppf "int %Ld" i
+  | FLOAT f -> Fmt.pf ppf "float %g" f
+  | IDENT s -> Fmt.pf ppf "ident %s" s
+  | KW s -> Fmt.pf ppf "keyword %s" s
+  | PUNCT s -> Fmt.pf ppf "'%s'" s
+  | EOF -> Fmt.string ppf "<eof>"
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [ "global"; "func"; "int"; "float"; "bool"; "tile"; "void"; "true";
+    "false"; "if"; "else"; "for"; "parallel_for"; "while"; "spawn";
+    "sync"; "return" ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let position (lx : t) : Ast.pos = { line = lx.line; col = lx.pos - lx.bol + 1 }
+
+let peek_char (lx : t) =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance (lx : t) =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws (lx : t) =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+    ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do advance lx done;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*'
+    ->
+    advance lx; advance lx;
+    let rec close () =
+      match peek_char lx with
+      | None -> raise (Error ("unterminated comment", position lx))
+      | Some '*' when lx.pos + 1 < String.length lx.src
+                      && lx.src.[lx.pos + 1] = '/' ->
+        advance lx; advance lx
+      | Some _ -> advance lx; close ()
+    in
+    close ();
+    skip_ws lx
+  | _ -> ()
+
+let lex_number (lx : t) : token =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float =
+    match peek_char lx with
+    | Some '.' when lx.pos + 1 < String.length lx.src
+                    && is_digit lx.src.[lx.pos + 1] ->
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      true
+    | _ -> false
+  in
+  let is_float =
+    match peek_char lx with
+    | Some ('e' | 'E') ->
+      advance lx;
+      (match peek_char lx with
+      | Some ('+' | '-') -> advance lx
+      | _ -> ());
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      true
+    | _ -> is_float
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if is_float then FLOAT (float_of_string text)
+  else INT (Int64.of_string text)
+
+let two_char_puncts =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ]
+
+(** Next token together with its source position. *)
+let next (lx : t) : token * Ast.pos =
+  skip_ws lx;
+  let pos = position lx in
+  match peek_char lx with
+  | None -> (EOF, pos)
+  | Some c when is_digit c -> (lex_number lx, pos)
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while
+      (match peek_char lx with Some c -> is_ident_char c | None -> false)
+    do
+      advance lx
+    done;
+    let text = String.sub lx.src start (lx.pos - start) in
+    if List.mem text keywords then (KW text, pos) else (IDENT text, pos)
+  | Some c ->
+    let two =
+      if lx.pos + 1 < String.length lx.src then
+        String.sub lx.src lx.pos 2
+      else ""
+    in
+    if List.mem two two_char_puncts then begin
+      advance lx; advance lx;
+      (PUNCT two, pos)
+    end
+    else begin
+      match c with
+      | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '='
+      | '!' | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '?' | ':' ->
+        advance lx;
+        (PUNCT (String.make 1 c), pos)
+      | _ ->
+        raise (Error (Fmt.str "unexpected character %C" c, pos))
+    end
+
+(** Tokenize the whole input (for tests). *)
+let tokenize (src : string) : (token * Ast.pos) list =
+  let lx = create src in
+  let rec go acc =
+    let t, p = next lx in
+    if t = EOF then List.rev ((t, p) :: acc) else go ((t, p) :: acc)
+  in
+  go []

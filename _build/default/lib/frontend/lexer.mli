@@ -1,0 +1,25 @@
+(** Hand-written lexer for the mini-language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string       (** keyword *)
+  | PUNCT of string    (** operator / punctuation *)
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of string * Ast.pos
+
+type t
+(** Lexer state over one source buffer. *)
+
+val create : string -> t
+
+val next : t -> token * Ast.pos
+(** Next token with its source position; returns [EOF] at the end.
+    @raise Error on malformed input *)
+
+val tokenize : string -> (token * Ast.pos) list
+(** Tokenize the whole input (testing convenience). *)

@@ -1,0 +1,13 @@
+(** Lowering from the elaborated AST to the SSA compiler IR.
+
+    Structured-control-flow SSA construction: if-joins and loop
+    headers get phis for exactly the variables assigned on the joining
+    paths; every loop records {!Muir_ir.Func.loop_info} metadata for
+    the μIR task extraction; [parallel_for] bodies are outlined into
+    fresh spawned functions (the TAPIR shape). *)
+
+exception Error of string * Ast.pos
+
+val lower : Ast.program -> Muir_ir.Program.t
+(** Lower a checked AST program (see {!Typecheck.check}).
+    @raise Error on constructs the lowering does not support *)

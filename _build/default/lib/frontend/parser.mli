@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the mini-language. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Parse a complete program from source text.
+    @raise Error on syntax errors (with position)
+    @raise Lexer.Error on malformed tokens *)

@@ -1,0 +1,19 @@
+(** Type checker and elaborator. *)
+
+exception Error of string * Ast.pos
+
+type fsig = { sparams : Ast.ty list; sret : Ast.ty }
+(** A function's signature, as seen by callers. *)
+
+type genv = {
+  globals : (string * Ast.ty) list;  (** element types *)
+  funcs : (string * fsig) list;
+}
+(** The global typing environment. *)
+
+val check : Ast.program -> Ast.program
+(** Validate the program and return an elaborated copy in which the
+    implicit conversions the surface syntax allows (integer literals in
+    float positions) have been made explicit, so lowering never
+    coerces.
+    @raise Error with a message and source position *)

@@ -1,0 +1,1 @@
+lib/hls/hls.ml: Float Func Hashtbl Instr Interp List Muir_ir Program Types

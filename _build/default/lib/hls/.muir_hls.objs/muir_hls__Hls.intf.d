@@ -1,0 +1,1 @@
+lib/hls/hls.mli: Hashtbl Muir_ir

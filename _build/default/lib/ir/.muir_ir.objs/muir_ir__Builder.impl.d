@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Func Instr List Types

@@ -1,0 +1,1 @@
+lib/ir/dom.ml: Func Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Float Instr Int64 List Types

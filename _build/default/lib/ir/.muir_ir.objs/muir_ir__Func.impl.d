@@ -1,0 +1,1 @@
+lib/ir/func.ml: Fmt Hashtbl Instr List Types

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Eval Fmt Func Instr Int64 List Memory Program Types

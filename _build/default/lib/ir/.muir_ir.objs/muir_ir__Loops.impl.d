@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Dom Dump Fmt Func Hashtbl Instr List

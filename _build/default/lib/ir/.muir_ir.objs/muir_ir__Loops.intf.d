@@ -1,0 +1,1 @@
+lib/ir/loops.mli: Func Instr

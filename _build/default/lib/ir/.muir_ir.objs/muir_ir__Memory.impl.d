@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Array Fmt Int64 List Program Types

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Fmt Func List Types

@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Eval Float Func Hashtbl Instr Int64 List Program Types

@@ -1,0 +1,1 @@
+lib/ir/types.ml: Array Float Fmt Int64

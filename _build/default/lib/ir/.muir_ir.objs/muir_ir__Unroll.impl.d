@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Array Func Hashtbl Instr Int64 List Program Transform

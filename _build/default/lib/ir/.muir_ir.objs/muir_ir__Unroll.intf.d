@@ -1,0 +1,1 @@
+lib/ir/unroll.mli: Func Program

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Dom Fmt Func Hashtbl Instr List Loops Program

@@ -1,0 +1,1 @@
+lib/ir/verify.mli: Format Func Program

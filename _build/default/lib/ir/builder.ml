@@ -1,0 +1,83 @@
+(** Imperative function builder used by the front-end lowering and by
+    tests that construct IR directly. *)
+
+open Types
+
+type t = {
+  func : Func.t;
+  mutable cur : Func.block option;
+  mutable next_label : int;
+}
+
+let create ~name ~params ~ret : t =
+  let func =
+    { Func.name; params; ret; blocks = []; loops = [];
+      next_reg = List.length params }
+  in
+  { func; cur = None; next_label = 0 }
+
+let fresh_reg (b : t) =
+  let r = b.func.next_reg in
+  b.func.next_reg <- r + 1;
+  r
+
+let new_block (b : t) : Instr.label =
+  let label = b.next_label in
+  b.next_label <- label + 1;
+  let blk = { Func.label; instrs = []; term = Instr.Ret None } in
+  b.func.blocks <- b.func.blocks @ [ blk ];
+  label
+
+let position_at (b : t) (l : Instr.label) =
+  b.cur <- Some (Func.block b.func l)
+
+let current_label (b : t) =
+  match b.cur with
+  | Some blk -> blk.label
+  | None -> invalid_arg "Builder.current_label: no current block"
+
+(** Append an instruction with a fresh result register. *)
+let add (b : t) ~(ty : ty) (kind : Instr.kind) : Instr.operand =
+  match b.cur with
+  | None -> invalid_arg "Builder.add: no current block"
+  | Some blk ->
+    let id = fresh_reg b in
+    blk.instrs <- blk.instrs @ [ { Instr.id; ty; kind } ];
+    Instr.Reg id
+
+(** Append a void instruction. *)
+let add_unit (b : t) (kind : Instr.kind) : unit =
+  ignore (add b ~ty:TUnit kind)
+
+(** Prepend a phi to block [l]; phis are kept in front of the block. *)
+let add_phi (b : t) (l : Instr.label) ~(ty : ty)
+    (incoming : (Instr.label * Instr.operand) list) : Instr.operand =
+  let blk = Func.block b.func l in
+  let id = fresh_reg b in
+  blk.instrs <- { Instr.id; ty; kind = Phi incoming } :: blk.instrs;
+  Instr.Reg id
+
+(** Replace the incoming list of phi [r] in block [l]. *)
+let set_phi_incoming (b : t) (l : Instr.label) (r : Instr.reg)
+    (incoming : (Instr.label * Instr.operand) list) =
+  let blk = Func.block b.func l in
+  blk.instrs <-
+    List.map
+      (fun (i : Instr.t) ->
+        if i.id = r then
+          { i with kind = Phi incoming }
+        else i)
+      blk.instrs
+
+let set_term (b : t) (term : Instr.terminator) =
+  match b.cur with
+  | None -> invalid_arg "Builder.set_term: no current block"
+  | Some blk -> blk.term <- term
+
+let set_term_of (b : t) (l : Instr.label) (term : Instr.terminator) =
+  (Func.block b.func l).term <- term
+
+let add_loop (b : t) (lp : Func.loop_info) =
+  b.func.loops <- b.func.loops @ [ lp ]
+
+let finish (b : t) : Func.t = b.func

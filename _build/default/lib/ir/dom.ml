@@ -1,0 +1,75 @@
+(** Dominator analysis (iterative dataflow, Cooper-Harvey-Kennedy
+    style on label sets — the CFGs here are small). *)
+
+type t = {
+  idom : (Instr.label, Instr.label) Hashtbl.t;
+      (** immediate dominator; the entry block is absent *)
+  entry : Instr.label;
+}
+
+let compute (f : Func.t) : t =
+  let labels = List.map (fun (b : Func.block) -> b.label) f.blocks in
+  let entry = (Func.entry f).label in
+  let preds = Func.predecessors f in
+  (* Reverse post-order for fast convergence. *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      List.iter dfs (Func.successors (Func.block f l));
+      order := l :: !order
+    end
+  in
+  dfs entry;
+  let rpo = !order in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace rpo_index l i) rpo;
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom entry entry;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find rpo_index a and ib = Hashtbl.find rpo_index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let ps =
+            List.filter (fun p -> Hashtbl.mem idom p)
+              (try Hashtbl.find preds l with Not_found -> [])
+          in
+          match ps with
+          | [] -> ()
+          | p0 :: rest ->
+            let new_idom = List.fold_left intersect p0 rest in
+            let old = Hashtbl.find_opt idom l in
+            if old <> Some new_idom then begin
+              Hashtbl.replace idom l new_idom;
+              changed := true
+            end
+          end)
+      rpo
+  done;
+  Hashtbl.remove idom entry;
+  ignore labels;
+  { idom; entry }
+
+(** [dominates d a b] — does block [a] dominate block [b]? *)
+let dominates (d : t) a b =
+  let rec up b = if a = b then true
+    else if b = d.entry then a = d.entry
+    else match Hashtbl.find_opt d.idom b with
+      | None -> false
+      | Some p -> up p
+  in
+  up b
+
+let idom (d : t) l = Hashtbl.find_opt d.idom l

@@ -1,0 +1,11 @@
+(** Dominator analysis over a function's CFG. *)
+
+type t
+
+val compute : Func.t -> t
+
+val dominates : t -> Instr.label -> Instr.label -> bool
+(** [dominates d a b] — does block [a] dominate block [b]? *)
+
+val idom : t -> Instr.label -> Instr.label option
+(** Immediate dominator ([None] for the entry block). *)

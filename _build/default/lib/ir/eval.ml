@@ -1,0 +1,116 @@
+(** Pure evaluation of instruction opcodes on runtime values.  Shared
+    by the golden interpreter, the cycle-level simulator and the
+    baseline CPU/HLS models so that all execution substrates agree on
+    functional semantics. *)
+
+open Types
+open Instr
+
+(** Integer division/remainder are made total (x/0 = 0) because
+    predicated-off dataflow paths may evaluate them on garbage. *)
+let ibin (op : ibin) (a : int64) (b : int64) : int64 =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Sdiv -> if Int64.equal b 0L then 0L else Int64.div a b
+  | Srem -> if Int64.equal b 0L then 0L else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Lshr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Ashr -> Int64.shift_right a (Int64.to_int b land 63)
+
+let fbin (op : fbin) (a : float) (b : float) : float =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+let icmp (op : icmp) (a : int64) (b : int64) : bool =
+  let c = Int64.compare a b in
+  match op with
+  | Eq -> c = 0 | Ne -> c <> 0 | Slt -> c < 0
+  | Sle -> c <= 0 | Sgt -> c > 0 | Sge -> c >= 0
+
+let fcmp (op : fcmp) (a : float) (b : float) : bool =
+  match op with
+  | Foeq -> a = b | Fone -> a <> b | Folt -> a < b
+  | Fole -> a <= b | Fogt -> a > b | Foge -> a >= b
+
+let funary (op : funary) (a : float) : float =
+  match op with
+  | Fneg -> -.a
+  | Fexp -> Float.exp a
+  | Fsqrt -> Float.sqrt a
+  | Fabs -> Float.abs a
+
+let cast (c : cast) (v : value) : value =
+  match c, v with
+  | Sitofp, VInt i -> VFloat (Int64.to_float i)
+  | Sitofp, VBool b -> VFloat (if b then 1.0 else 0.0)
+  | Fptosi, VFloat f -> VInt (Int64.of_float f)
+  | Zext _, VBool b -> VInt (if b then 1L else 0L)
+  | Zext _, VInt i -> VInt i
+  | Trunc w, VInt i ->
+    if w >= 64 then VInt i
+    else
+      let mask = Int64.sub (Int64.shift_left 1L w) 1L in
+      VInt (Int64.logand i mask)
+  | Trunc _, VBool _ -> v
+  | _, VPoison -> VPoison
+  | _ -> invalid_arg "Eval.cast: type mismatch"
+
+(** Square-tile matrix multiply (row major). *)
+let tensor_mul (s : shape) (a : float array) (b : float array) : float array =
+  if s.rows <> s.cols then invalid_arg "Eval.tensor_mul: non-square tile";
+  let n = s.rows in
+  let c = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.((i * n) + k) *. b.((k * n) + j))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let tensor_add (a : float array) (b : float array) : float array =
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let tensor_relu (a : float array) : float array =
+  Array.map (fun x -> Float.max 0.0 x) a
+
+let tbin (op : tbin) (s : shape) a b =
+  match op with
+  | Tmul -> tensor_mul s a b
+  | Tadd -> tensor_add a b
+
+let tunary (op : tunary) a = match op with Trelu -> tensor_relu a
+
+(** Evaluate a pure (register-only) opcode on already-resolved operand
+    values.  Memory, phi, control and task opcodes are the caller's
+    business.  Poison is propagated. *)
+let pure (k : kind) (args : value list) : value =
+  if List.exists is_poison args then VPoison
+  else
+    match k, args with
+    | Bin (op, _, _), [ a; b ] -> VInt (ibin op (as_int a) (as_int b))
+    | Fbin (op, _, _), [ a; b ] -> VFloat (fbin op (as_float a) (as_float b))
+    | Icmp (op, _, _), [ a; b ] -> VBool (icmp op (as_int a) (as_int b))
+    | Fcmp (op, _, _), [ a; b ] -> VBool (fcmp op (as_float a) (as_float b))
+    | Funary (op, _), [ a ] -> VFloat (funary op (as_float a))
+    | Cast (c, _), [ a ] -> cast c a
+    | Select _, [ c; a; b ] -> if truth c then a else b
+    | Gep { scale; _ }, [ base; index ] ->
+      VInt (Int64.add (as_int base) (Int64.mul (as_int index)
+              (Int64.of_int scale)))
+    | Tbin (op, _, _), [ VTensor a; VTensor b ] ->
+      let n = int_of_float (Float.sqrt (float_of_int (Array.length a))) in
+      VTensor (tbin op { rows = n; cols = n } a b)
+    | Tunary (op, _), [ VTensor a ] -> VTensor (tunary op a)
+    | _ -> invalid_arg "Eval.pure: not a pure opcode or arity mismatch"

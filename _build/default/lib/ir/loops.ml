@@ -1,0 +1,90 @@
+(** Natural-loop detection, used to cross-check the loop metadata the
+    structured front-end records on each function. *)
+
+type natural_loop = {
+  header : Instr.label;
+  latches : Instr.label list;
+  blocks : Instr.label list;
+}
+
+(** Find natural loops from back edges [latch -> header] where the
+    header dominates the latch. *)
+let analyze (f : Func.t) : natural_loop list =
+  let dom = Dom.compute f in
+  let back_edges =
+    List.concat_map
+      (fun (b : Func.block) ->
+        List.filter_map
+          (fun s -> if Dom.dominates dom s b.label then Some (b.label, s) else None)
+          (Func.successors b))
+      f.blocks
+  in
+  let preds = Func.predecessors f in
+  let loop_of (latch, header) =
+    let in_loop = Hashtbl.create 8 in
+    Hashtbl.replace in_loop header ();
+    let rec walk l =
+      if not (Hashtbl.mem in_loop l) then begin
+        Hashtbl.replace in_loop l ();
+        List.iter walk (try Hashtbl.find preds l with Not_found -> [])
+      end
+    in
+    walk latch;
+    { header; latches = [ latch ];
+      blocks = Hashtbl.fold (fun l () acc -> l :: acc) in_loop [] }
+  in
+  (* Merge loops sharing a header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let lp = loop_of e in
+      match Hashtbl.find_opt by_header lp.header with
+      | None -> Hashtbl.replace by_header lp.header lp
+      | Some prev ->
+        Hashtbl.replace by_header lp.header
+          { prev with
+            latches = prev.latches @ lp.latches;
+            blocks =
+              List.sort_uniq compare (prev.blocks @ lp.blocks) })
+    back_edges;
+  Hashtbl.fold (fun _ lp acc -> lp :: acc) by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(** Check that the recorded metadata matches the CFG-derived loops:
+    same headers, each recorded body a superset of the natural body,
+    and each latch is a recorded latch.  Returns an error description
+    on mismatch. *)
+let check_metadata (f : Func.t) : (unit, string) result =
+  let natural = analyze f in
+  let recorded = f.loops in
+  let nat_headers = List.map (fun l -> l.header) natural in
+  let rec_headers =
+    List.map (fun (l : Func.loop_info) -> l.header) recorded
+  in
+  if List.sort compare nat_headers <> List.sort compare rec_headers then
+    Error
+      (Fmt.str "loop headers differ in %s: cfg=%a recorded=%a" f.name
+         Fmt.(Dump.list int) nat_headers
+         Fmt.(Dump.list int) rec_headers)
+  else
+    List.fold_left
+      (fun acc (nl : natural_loop) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+          match
+            List.find_opt
+              (fun (l : Func.loop_info) -> l.header = nl.header)
+              recorded
+          with
+          | None -> Error (Fmt.str "no metadata for loop bb%d" nl.header)
+          | Some meta ->
+            if not (List.for_all (fun b -> List.mem b meta.body) nl.blocks)
+            then
+              Error
+                (Fmt.str "loop bb%d: metadata body misses cfg blocks"
+                   nl.header)
+            else if not (List.mem meta.latch nl.latches) then
+              Error (Fmt.str "loop bb%d: latch mismatch" nl.header)
+            else Ok ()))
+      (Ok ()) natural

@@ -1,0 +1,14 @@
+(** Natural-loop detection, used to cross-check the loop metadata the
+    structured front-end records. *)
+
+type natural_loop = {
+  header : Instr.label;
+  latches : Instr.label list;
+  blocks : Instr.label list;
+}
+
+val analyze : Func.t -> natural_loop list
+(** Natural loops from back edges whose header dominates the latch. *)
+
+val check_metadata : Func.t -> (unit, string) result
+(** Does the recorded {!Func.loop_info} agree with the CFG? *)

@@ -1,0 +1,81 @@
+(** The flat word-addressed memory shared by every execution substrate
+    (golden interpreter, cycle simulator, CPU and HLS models). *)
+
+open Types
+
+type t = {
+  cells : value array;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let create (p : Program.t) : t =
+  let size = Program.memory_words p in
+  let cells = Array.make (max size 1) (VInt 0L) in
+  List.iter
+    (fun (g : Program.global) ->
+      match g.ginit with
+      | None ->
+        (* Zero of the element type. *)
+        let zero =
+          match g.gelt with TFloat -> VFloat 0.0 | _ -> VInt 0L
+        in
+        for i = 0 to g.gsize - 1 do
+          cells.(g.gbase + i) <- zero
+        done
+      | Some init ->
+        Array.iteri
+          (fun i v -> if i < g.gsize then cells.(g.gbase + i) <- v)
+          init)
+    p.globals;
+  { cells; loads = 0; stores = 0 }
+
+let size (m : t) = Array.length m.cells
+
+let in_bounds (m : t) addr = addr >= 0 && addr < Array.length m.cells
+
+let load (m : t) (addr : int) : value =
+  if not (in_bounds m addr) then
+    invalid_arg (Fmt.str "Memory.load: address %d out of bounds" addr);
+  m.loads <- m.loads + 1;
+  m.cells.(addr)
+
+let store (m : t) (addr : int) (v : value) : unit =
+  if not (in_bounds m addr) then
+    invalid_arg (Fmt.str "Memory.store: address %d out of bounds" addr);
+  m.stores <- m.stores + 1;
+  m.cells.(addr) <- v
+
+let load_float (m : t) addr =
+  match load m addr with
+  | VFloat f -> f
+  | VInt i -> Int64.to_float i
+  | v -> invalid_arg ("Memory.load_float: " ^ value_to_string v)
+
+(** Load a [shape] tile whose row [r] starts at [addr + r*row_stride]. *)
+let load_tile (m : t) ~(addr : int) ~(row_stride : int) (s : shape) :
+    float array =
+  let t = Array.make (shape_words s) 0.0 in
+  for r = 0 to s.rows - 1 do
+    for c = 0 to s.cols - 1 do
+      t.((r * s.cols) + c) <- load_float m (addr + (r * row_stride) + c)
+    done
+  done;
+  t
+
+let store_tile (m : t) ~(addr : int) ~(row_stride : int) (s : shape)
+    (t : float array) : unit =
+  for r = 0 to s.rows - 1 do
+    for c = 0 to s.cols - 1 do
+      store m (addr + (r * row_stride) + c) (VFloat t.((r * s.cols) + c))
+    done
+  done
+
+(** Snapshot of a named global's contents, for golden comparisons. *)
+let dump_global (m : t) (p : Program.t) (name : string) : value array =
+  let g = Program.find_global p name in
+  Array.sub m.cells g.gbase g.gsize
+
+let reset_counters (m : t) =
+  m.loads <- 0;
+  m.stores <- 0

@@ -1,0 +1,273 @@
+(** Behaviour-level loop unrolling.
+
+    The paper's front-end leans on software transformations — "we
+    would like to leverage software transformations such as loop
+    unrolling to expose more opportunity for hardware transformations"
+    (§2.2) — because each unrolled copy of a loop body becomes an
+    independent slice of dataflow in the μIR graph (more function
+    units in flight per iteration).
+
+    This implements full unrolling of innermost counted loops with
+    straight-line bodies and a known constant trip count:
+
+      for (i = C0; i < C1; i = i + C2) BODY      trip = ceil((C1-C0)/C2)
+
+    The loop's blocks are replaced by [trip] renamed copies of the
+    body/latch instructions chained in the preheader's stead; header
+    phis become direct operand substitutions.  Loops with conditional
+    control flow, calls, spawns, or non-constant bounds are left
+    alone. *)
+
+open Instr
+
+(** Header phis as (reg, init operand, latch operand). *)
+let carried_phis (f : Func.t) (lp : Func.loop_info) :
+    (reg * operand * operand) list =
+  List.filter_map
+    (fun (i : Instr.t) ->
+      match i.kind with
+      | Phi incoming -> (
+        match
+          ( List.assoc_opt lp.preheader incoming,
+            List.assoc_opt lp.latch incoming )
+        with
+        | Some init, Some next -> Some (i.id, init, next)
+        | _ -> None)
+      | _ -> None)
+    (Func.block f lp.header).instrs
+
+(** Constant trip count of [lp] if its induction phi (the one feeding
+    the exit comparison) has constant bounds and a positive constant
+    step; other carried phis (accumulators) are fine. *)
+let trip_count (f : Func.t) (lp : Func.loop_info) : int option =
+  let header = Func.block f lp.header in
+  match header.term with
+  | CondBr (Reg c, _, _) -> (
+    let cond = Func.find_instr f c in
+    match cond with
+    | Some { kind = Icmp (Slt, Reg ind, CInt c1); _ } -> (
+      match
+        List.find_opt (fun (r, _, _) -> r = ind) (carried_phis f lp)
+      with
+      | Some (_, CInt c0, Reg nxt) -> (
+        match Func.find_instr f nxt with
+        | Some { kind = Bin (Add, Reg i', CInt s); _ }
+          when i' = ind && Int64.to_int s > 0 ->
+          let c0 = Int64.to_int c0
+          and c1 = Int64.to_int c1
+          and s = Int64.to_int s in
+          if c1 <= c0 then Some 0 else Some ((c1 - c0 + s - 1) / s)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(** The loop is unrollable when its body is pure straight-line code:
+    header + one body block + latch, no calls/spawns/syncs, and no
+    inner loops. *)
+let unrollable (f : Func.t) (lp : Func.loop_info) : bool =
+  let inner =
+    List.exists
+      (fun (l : Func.loop_info) ->
+        l.header <> lp.header && List.mem l.header lp.body)
+      f.loops
+  in
+  (not inner)
+  && List.length lp.body <= 3
+  && List.for_all
+       (fun l ->
+         let b = Func.block f l in
+         List.for_all
+           (fun (i : Instr.t) ->
+             match i.kind with
+             | Call _ | Spawn _ | Sync -> false
+             | Phi _ -> l = lp.header
+             | _ -> true)
+           b.instrs)
+       lp.body
+
+(** Fully unroll one loop; returns true on success. *)
+let unroll_loop (f : Func.t) (lp : Func.loop_info) ~(max_trip : int) : bool =
+  match trip_count f lp with
+  | Some trip when trip >= 0 && trip <= max_trip && unrollable f lp ->
+    let header = Func.block f lp.header in
+    let body_labels =
+      List.filter (fun l -> l <> lp.header) lp.body
+    in
+    (* instructions of one iteration, in execution order *)
+    let iteration_instrs =
+      List.filter
+        (fun (i : Instr.t) ->
+          match i.kind with Phi _ -> false | _ -> true)
+        header.instrs
+      @ List.concat_map (fun l -> (Func.block f l).instrs) body_labels
+    in
+    let carried = carried_phis f lp in
+    if carried = [] then invalid_arg "unroll: no carried phis";
+    (* Emit [trip] renamed copies into a straight line. *)
+    let out_instrs = ref [] in
+    let cur =
+      Array.of_list (List.map (fun (_, init, _) -> init) carried)
+    in
+    let fresh () =
+      let r = f.next_reg in
+      f.next_reg <- r + 1;
+      r
+    in
+    for _ = 1 to trip do
+      let rename : (reg, operand) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri
+        (fun k (r, _, _) -> Hashtbl.replace rename r cur.(k))
+        carried;
+      let subst op =
+        match op with
+        | Reg r -> (
+          match Hashtbl.find_opt rename r with Some o -> o | None -> op)
+        | _ -> op
+      in
+      let subst_kind (k : kind) : kind =
+        match k with
+        | Bin (o, a, b) -> Bin (o, subst a, subst b)
+        | Fbin (o, a, b) -> Fbin (o, subst a, subst b)
+        | Icmp (o, a, b) -> Icmp (o, subst a, subst b)
+        | Fcmp (o, a, b) -> Fcmp (o, subst a, subst b)
+        | Funary (o, a) -> Funary (o, subst a)
+        | Cast (c, a) -> Cast (c, subst a)
+        | Select (c, a, b) -> Select (subst c, subst a, subst b)
+        | Gep { base; index; scale } ->
+          Gep { base = subst base; index = subst index; scale }
+        | Load { addr } -> Load { addr = subst addr }
+        | Store { addr; value } ->
+          Store { addr = subst addr; value = subst value }
+        | Tload { addr; row_stride; shape } ->
+          Tload { addr = subst addr; row_stride = subst row_stride; shape }
+        | Tstore { addr; row_stride; value; shape } ->
+          Tstore
+            { addr = subst addr; row_stride = subst row_stride;
+              value = subst value; shape }
+        | Tbin (o, a, b) -> Tbin (o, subst a, subst b)
+        | Tunary (o, a) -> Tunary (o, subst a)
+        | Phi _ | Call _ | Spawn _ | Sync -> assert false
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          let id = fresh () in
+          Hashtbl.replace rename i.id (Reg id);
+          out_instrs := { i with id; kind = subst_kind i.kind } :: !out_instrs)
+        iteration_instrs;
+      (* carried values feeding the following copy *)
+      List.iteri
+        (fun k (_, _, next_op) ->
+          cur.(k) <-
+            (match next_op with
+            | Reg r -> (
+              match Hashtbl.find_opt rename r with
+              | Some o -> o
+              | None -> next_op)
+            | o -> o))
+        carried
+    done;
+    (* Uses of the header phis after the loop see the final carried
+       values: rewrite them throughout the function. *)
+    let final : (reg, operand) Hashtbl.t = Hashtbl.create 4 in
+    List.iteri (fun k (r, _, _) -> Hashtbl.replace final r cur.(k)) carried;
+    let subst_final op =
+      match op with
+      | Reg r -> (
+        match Hashtbl.find_opt final r with Some o -> o | None -> op)
+      | _ -> op
+    in
+    let subst_kind_final (k : kind) : kind =
+      match k with
+      | Bin (o, a, b) -> Bin (o, subst_final a, subst_final b)
+      | Fbin (o, a, b) -> Fbin (o, subst_final a, subst_final b)
+      | Icmp (o, a, b) -> Icmp (o, subst_final a, subst_final b)
+      | Fcmp (o, a, b) -> Fcmp (o, subst_final a, subst_final b)
+      | Funary (o, a) -> Funary (o, subst_final a)
+      | Cast (c, a) -> Cast (c, subst_final a)
+      | Select (c, a, b) ->
+        Select (subst_final c, subst_final a, subst_final b)
+      | Phi ins -> Phi (List.map (fun (l, o) -> (l, subst_final o)) ins)
+      | Gep { base; index; scale } ->
+        Gep { base = subst_final base; index = subst_final index; scale }
+      | Load { addr } -> Load { addr = subst_final addr }
+      | Store { addr; value } ->
+        Store { addr = subst_final addr; value = subst_final value }
+      | Tload { addr; row_stride; shape } ->
+        Tload
+          { addr = subst_final addr; row_stride = subst_final row_stride;
+            shape }
+      | Tstore { addr; row_stride; value; shape } ->
+        Tstore
+          { addr = subst_final addr; row_stride = subst_final row_stride;
+            value = subst_final value; shape }
+      | Tbin (o, a, b) -> Tbin (o, subst_final a, subst_final b)
+      | Tunary (o, a) -> Tunary (o, subst_final a)
+      | Call { callee; args } ->
+        Call { callee; args = List.map subst_final args }
+      | Spawn { callee; args } ->
+        Spawn { callee; args = List.map subst_final args }
+      | Sync -> Sync
+    in
+    List.iter
+      (fun (b : Func.block) ->
+        if not (List.mem b.label lp.body) then begin
+          b.instrs <-
+            List.map
+              (fun (i : Instr.t) -> { i with kind = subst_kind_final i.kind })
+              b.instrs;
+          (match b.term with
+          | CondBr (c, t, e) -> b.term <- CondBr (subst_final c, t, e)
+          | Ret (Some v) -> b.term <- Ret (Some (subst_final v))
+          | _ -> ())
+        end)
+      f.blocks;
+    (* Splice: the header block becomes the unrolled straight-line
+       code, jumping to the exit; other loop blocks are dropped. *)
+    header.instrs <- List.rev !out_instrs;
+    header.term <- Br lp.exit;
+    f.blocks <-
+      List.filter
+        (fun (b : Func.block) ->
+          b.label = lp.header || not (List.mem b.label body_labels))
+        f.blocks;
+    f.loops <-
+      List.filter_map
+        (fun (l : Func.loop_info) ->
+          if l.header = lp.header then None
+          else
+            (* scrub the deleted blocks from enclosing loops' bodies *)
+            Some
+              { l with
+                body =
+                  List.filter
+                    (fun b -> not (List.mem b body_labels))
+                    l.body })
+        f.loops;
+    true
+  | _ -> false
+
+(** Unroll every eligible innermost loop of [f]; returns how many. *)
+let unroll_func ?(max_trip = 16) (f : Func.t) : int =
+  let n = ref 0 in
+  let rec go () =
+    let candidate =
+      List.find_opt (fun lp -> unroll_loop f lp ~max_trip) f.loops
+    in
+    match candidate with
+    | Some _ ->
+      incr n;
+      go ()
+    | None -> ()
+  in
+  go ();
+  !n
+
+(** Unroll across the whole program (then re-run the cleanups, since
+    unrolled bodies are constant-folding fodder). *)
+let unroll ?(max_trip = 16) (p : Program.t) : int =
+  let n =
+    List.fold_left (fun acc f -> acc + unroll_func ~max_trip f) 0 p.funcs
+  in
+  if n > 0 then ignore (Transform.optimize p);
+  n

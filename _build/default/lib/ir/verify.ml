@@ -1,0 +1,135 @@
+(** IR well-formedness verifier: structural checks plus SSA dominance. *)
+
+open Instr
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let verify_func (p : Program.t option) (f : Func.t) : error list =
+  let errs = ref [] in
+  let err where fmt = Fmt.kstr (fun what -> errs := { where; what } :: !errs) fmt in
+  let labels = List.map (fun (b : Func.block) -> b.label) f.blocks in
+  let where_blk (b : Func.block) = Fmt.str "%s/bb%d" f.name b.label in
+  (* Unique labels. *)
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    err f.name "duplicate block labels";
+  (* Terminator targets exist. *)
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun s ->
+          if not (List.mem s labels) then
+            err (where_blk b) "branch to missing bb%d" s)
+        (Func.successors b))
+    f.blocks;
+  (* Unique defs; build def-site map. *)
+  let def_block : (reg, label) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri (fun i (_, _) -> Hashtbl.replace def_block i (Func.entry f).label)
+    f.params;
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Hashtbl.mem def_block i.id then
+            err (where_blk b) "register %%%d defined twice" i.id
+          else Hashtbl.replace def_block i.id b.label)
+        b.instrs)
+    f.blocks;
+  (* Phis only reference existing predecessors and cover all of them. *)
+  let preds = Func.predecessors f in
+  List.iter
+    (fun (b : Func.block) ->
+      let bpreds = try Hashtbl.find preds b.label with Not_found -> [] in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Phi incoming ->
+            let ins = List.map fst incoming in
+            List.iter
+              (fun l ->
+                if not (List.mem l bpreds) then
+                  err (where_blk b) "phi %%%d: bb%d is not a predecessor" i.id l)
+              ins;
+            List.iter
+              (fun l ->
+                if not (List.mem l ins) then
+                  err (where_blk b) "phi %%%d: missing incoming for bb%d" i.id l)
+              bpreds
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  (* SSA dominance: each non-phi use is dominated by its def. *)
+  let dom = Dom.compute f in
+  let check_use (b : Func.block) (u : Instr.t option) op =
+    match op with
+    | Reg r -> (
+      match Hashtbl.find_opt def_block r with
+      | None ->
+        err (where_blk b) "use of undefined register %%%d" r
+      | Some dl ->
+        (* Spawn results materialize at sync; the front-end guarantees
+           the use is after the matching sync, so plain dominance of
+           the def block suffices here as well. *)
+        if not (Dom.dominates dom dl b.label) then
+          err (where_blk b) "use of %%%d not dominated by its def (bb%d)" r dl);
+      ignore u
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Phi incoming ->
+            (* Phi operand must be available at the end of the incoming
+               edge's source block. *)
+            List.iter
+              (fun (l, op) ->
+                match op with
+                | Reg r -> (
+                  match Hashtbl.find_opt def_block r with
+                  | None -> err (where_blk b) "phi uses undefined %%%d" r
+                  | Some dl ->
+                    if not (Dom.dominates dom dl l) then
+                      err (where_blk b)
+                        "phi operand %%%d (def bb%d) unavailable on edge from bb%d"
+                        r dl l)
+                | _ -> ())
+              incoming
+          | _ -> List.iter (check_use b (Some i)) (operands i))
+        b.instrs;
+      match b.term with
+      | CondBr (c, _, _) -> check_use b None c
+      | Ret (Some v) -> check_use b None v
+      | _ -> ())
+    f.blocks;
+  (* Called functions exist. *)
+  (match p with
+  | None -> ()
+  | Some prog ->
+    Func.iter_instrs
+      (fun i ->
+        match i.kind with
+        | Call { callee; _ } | Spawn { callee; _ } ->
+          if not (Program.has_func prog callee) then
+            err f.name "call to missing function %s" callee
+        | _ -> ())
+      f);
+  (* Loop metadata consistent with the CFG. *)
+  (match Loops.check_metadata f with
+  | Ok () -> ()
+  | Error m -> err f.name "%s" m);
+  List.rev !errs
+
+let verify (p : Program.t) : error list =
+  List.concat_map (verify_func (Some p)) p.funcs
+
+(** Raise [Invalid_argument] with a report if the program is ill-formed. *)
+let check_exn (p : Program.t) : unit =
+  match verify p with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Fmt.str "IR verification failed:@,%a"
+         Fmt.(list ~sep:cut pp_error) errs)

@@ -1,0 +1,15 @@
+(** IR well-formedness verifier: structural checks plus SSA
+    dominance, phi/predecessor agreement, and loop-metadata
+    consistency. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val verify_func : Program.t option -> Func.t -> error list
+(** Check one function; pass the program to also check call targets. *)
+
+val verify : Program.t -> error list
+
+val check_exn : Program.t -> unit
+(** @raise Invalid_argument with a report if the program is ill-formed *)

@@ -1,0 +1,1 @@
+lib/model/model.ml: Float Fmt List Muir_rtl String

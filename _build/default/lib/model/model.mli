@@ -1,0 +1,26 @@
+(** Synthesis models: FPGA (Arria-10-class) and ASIC (28 nm) area,
+    frequency and power estimates from the component-level design.
+    Replaces the paper's Quartus / Synopsys DC runs (see DESIGN.md);
+    per-primitive costs are calibrated to Table 2's bands, and all
+    relative orderings derive from circuit structure. *)
+
+type fpga_report = {
+  fr_mhz : float;
+  fr_mw : float;
+  fr_alms : int;
+  fr_regs : int;
+  fr_dsps : int;
+  fr_brams : int;
+}
+
+type asic_report = {
+  ar_ghz : float;
+  ar_mw : float;
+  ar_area : float;  (** 10^3 µm² of logic at 28 nm (SRAM excluded) *)
+}
+
+val fpga : Muir_rtl.Rtl.design -> fpga_report
+val asic : Muir_rtl.Rtl.design -> asic_report
+
+val pp_fpga : Format.formatter -> fpga_report -> unit
+val pp_asic : Format.formatter -> asic_report -> unit

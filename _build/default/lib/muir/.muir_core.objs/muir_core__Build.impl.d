@@ -1,0 +1,1 @@
+lib/muir/build.ml: Array Fmt Graph Hashtbl Int64 List Muir_ir Queue

@@ -1,0 +1,1 @@
+lib/muir/build.mli: Graph Muir_ir

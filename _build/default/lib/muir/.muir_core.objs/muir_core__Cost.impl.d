@@ -1,0 +1,1 @@
+lib/muir/cost.ml: Graph List Muir_ir

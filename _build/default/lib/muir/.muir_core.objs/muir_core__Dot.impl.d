@@ -1,0 +1,1 @@
+lib/muir/dot.ml: Buffer Fmt Graph List String

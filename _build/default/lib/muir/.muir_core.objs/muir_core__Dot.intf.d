@@ -1,0 +1,1 @@
+lib/muir/dot.mli: Graph

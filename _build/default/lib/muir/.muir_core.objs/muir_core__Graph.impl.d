@@ -1,0 +1,1 @@
+lib/muir/graph.ml: Array Fmt List Muir_ir String

@@ -1,0 +1,1 @@
+lib/muir/validate.ml: Array Fmt Graph Hashtbl List Muir_ir

@@ -1,0 +1,1 @@
+lib/muir/validate.mli: Format Graph

@@ -1,0 +1,10 @@
+(** Construction of the baseline μIR circuit from compiler IR
+    (Algorithm 1 of the paper): one task block per function and per
+    loop, each lowered to a predicated hyperblock dataflow, plus the
+    default shared-cache memory system. *)
+
+val circuit :
+  ?entry:string -> ?name:string -> Muir_ir.Program.t -> Graph.circuit
+(** Build the baseline circuit for [prog], rooted at [entry]
+    (default ["main"]).  The result validates under {!Validate} and is
+    ready for μopt passes, simulation, and lowering. *)

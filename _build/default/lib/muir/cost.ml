@@ -1,0 +1,93 @@
+(** Timing cost model for μIR nodes: pipeline latency (cycles from
+    consuming inputs to the result being visible to the consumer) and
+    initiation interval (minimum cycles between successive firings).
+
+    The baseline graph performs no scheduling: every connection is a
+    full ready/valid handshake with its own pipeline register, so even
+    a 1-gate operation costs a compute stage plus a handshake stage
+    (latency 2).  This is exactly what makes the baseline loop ring
+    the paper's five stages (Buffer→φ→i++→i==0→branch ≈ μ(1) +
+    add(2) + steer(2)), and what the op-fusion pass removes by
+    collapsing a chain into one stage group.
+
+    The synthesis model in [Muir_model] independently derives clock
+    frequency from the same primitives' combinational delays. *)
+
+module G = Graph
+module I = Muir_ir.Instr
+
+type t = { latency : int; ii : int }
+
+let one = { latency = 1; ii = 1 }
+let alu = { latency = 2; ii = 1 }
+
+let fu_cost : G.fu_op -> t = function
+  | Fibin (Add | Sub | And | Or | Xor | Shl | Lshr | Ashr) -> alu
+  | Fibin Mul -> { latency = 4; ii = 1 }
+  | Fibin (Sdiv | Srem) -> { latency = 13; ii = 12 }
+  | Ffbin (Fadd | Fsub) -> { latency = 5; ii = 1 }
+  | Ffbin Fmul -> { latency = 5; ii = 1 }
+  | Ffbin Fdiv -> { latency = 13; ii = 12 }
+  | Ficmp _ -> alu
+  | Ffcmp _ -> { latency = 3; ii = 1 }
+  | Ffunary (Fneg | Fabs) -> alu
+  | Ffunary (Fexp | Fsqrt) -> { latency = 13; ii = 1 }
+  | Fcast _ -> { latency = 3; ii = 1 }
+  | Fselect | Fgep _ -> alu
+  | Fident -> one
+
+(** Does a fused chain contain a long-delay primitive (forcing an
+    extra stage so frequency is not robbed)? *)
+let heavy_chain (ops : G.fu_op list) : bool =
+  List.exists
+    (function
+      | G.Fibin I.Mul | G.Fibin (I.Sdiv | I.Srem)
+      | G.Ffbin _ | G.Ffunary (I.Fexp | I.Fsqrt) | G.Fcast _ -> true
+      | _ -> false)
+    ops
+
+(** Tile ops: the baseline (shared FU) implementation serializes the
+    scalar operations of the tile through one multiplier and one adder
+    (Fig. 14 left); the dedicated reduction-tree unit installed by the
+    tensor pass is fully pipelined (Fig. 14 right). *)
+let tensor_cost (top : G.tensor_op) ~(dedicated : bool) : t =
+  let open G in
+  if dedicated then
+    match top with
+    | Tmul2 -> { latency = 5; ii = 1 }
+    | Tadd2 -> { latency = 3; ii = 1 }
+    | Trelu2 -> { latency = 2; ii = 1 }
+  else
+    match top with
+    | Tmul2 -> { latency = 16; ii = 8 }  (* 8 muls + 4-add tree, shared FUs *)
+    | Tadd2 -> { latency = 8; ii = 4 }
+    | Trelu2 -> { latency = 5; ii = 4 }
+
+(** Raw combinational delay of a scalar opcode, in "adder units"
+    (a 32-bit carry chain = 1.0).  Shared by the op-fusion pass (its
+    chain budget) and the synthesis model (stage delay = sum of raw
+    delays + one handshake overhead). *)
+let fu_raw_delay : G.fu_op -> float = function
+  | Fibin (I.Add | I.Sub) | Fgep _ -> 1.0
+  | Fibin (I.And | I.Or | I.Xor) -> 0.35
+  | Fibin (I.Shl | I.Lshr | I.Ashr) -> 0.5
+  | Ficmp _ -> 0.9
+  | Fselect | Fident -> 0.4
+  | Fibin I.Mul -> 2.2
+  | Fibin (I.Sdiv | I.Srem) -> 2.6
+  | Ffbin _ | Ffcmp _ | Ffunary _ | Fcast _ -> 1.8
+
+let node_cost (k : G.node_kind) : t =
+  match k with
+  | Compute op -> fu_cost op
+  | Fused ops | FusedSteer ops ->
+    (* One stage group: a single handshake for the whole chain. *)
+    { latency = (if heavy_chain ops then 3 else 2); ii = 1 }
+  | Merge _ -> alu
+  | MergeLoop -> one
+  | Steer -> alu
+  | Load _ | Store _ | Tload _ | Tstore _ -> one (* issue; memory adds more *)
+  | Tcompute { top; dedicated } -> tensor_cost top ~dedicated
+  | LiveIn _ | LiveOut _ -> one
+  | CallChild _ | SpawnChild _ -> one
+  | SyncWait -> one

@@ -1,0 +1,4 @@
+(** Graphviz export of μIR circuits, one cluster per task block. *)
+
+val render : Graph.circuit -> string
+(** Render as a Graphviz digraph (pipe through [dot -Tsvg]). *)

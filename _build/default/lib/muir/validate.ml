@@ -1,0 +1,163 @@
+(** Structural validation of μIR circuits.  μopt passes are expected
+    to leave circuits valid; the test-suite runs this after every
+    transformation. *)
+
+module G = Graph
+
+type error = { vwhere : string; vwhat : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.vwhere e.vwhat
+
+let validate_task (c : G.circuit) (t : G.task) : error list =
+  let errs = ref [] in
+  let err fmt =
+    Fmt.kstr (fun m -> errs := { vwhere = t.tname; vwhat = m } :: !errs) fmt
+  in
+  let node_ids = List.map (fun (n : G.node) -> n.nid) t.nodes in
+  (* Unique node ids. *)
+  if List.length (List.sort_uniq compare node_ids) <> List.length node_ids
+  then err "duplicate node ids";
+  let find nid = List.find_opt (fun (n : G.node) -> n.nid = nid) t.nodes in
+  (* Edges reference live endpoints and in-range wired ports. *)
+  let in_use = Hashtbl.create 64 in
+  List.iter
+    (fun (e : G.edge) ->
+      (match find (fst e.src) with
+      | None -> err "edge e%d: source n%d missing" e.eid (fst e.src)
+      | Some n ->
+        let out = G.out_arity n.kind ~call_res:max_int in
+        if snd e.src < 0 || snd e.src >= out then
+          err "edge e%d: source port %d out of range for %s" e.eid
+            (snd e.src) (G.kind_to_string n.kind));
+      (match find (fst e.dst) with
+      | None -> err "edge e%d: target n%d missing" e.eid (fst e.dst)
+      | Some n ->
+        if snd e.dst < 0 || snd e.dst >= Array.length n.ins then
+          err "edge e%d: target port %d out of range (arity %d)" e.eid
+            (snd e.dst) (Array.length n.ins)
+        else begin
+          (match n.ins.(snd e.dst) with
+          | G.Swire -> ()
+          | G.Simm _ ->
+            err "edge e%d: target port n%d.%d is an immediate" e.eid
+              (fst e.dst) (snd e.dst));
+          if Hashtbl.mem in_use e.dst then
+            err "input port n%d.%d driven twice" (fst e.dst) (snd e.dst)
+          else Hashtbl.add in_use e.dst ()
+        end);
+      if e.capacity < 1 then err "edge e%d: capacity < 1" e.eid;
+      if List.length e.initial > e.capacity then
+        err "edge e%d: more initial tokens than capacity" e.eid)
+    t.edges;
+  (* Every wired (non-immediate) input port is driven. *)
+  List.iter
+    (fun (n : G.node) ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | G.Simm _ -> ()
+          | G.Swire ->
+            if not (Hashtbl.mem in_use (n.nid, i)) then
+              err "input port n%d.%d (%s) is undriven" n.nid i
+                (G.kind_to_string n.kind))
+        n.ins)
+    t.nodes;
+  (* Node-kind specific rules. *)
+  List.iter
+    (fun (n : G.node) ->
+      match n.kind with
+      | G.MergeLoop -> (
+        match
+          List.find_opt (fun (e : G.edge) -> e.dst = (n.nid, 0)) t.edges
+        with
+        | Some e ->
+          if e.initial <> [ Muir_ir.Types.VBool false ] then
+            err "mu n%d: ctl edge must carry one initial false token" n.nid
+        | None -> err "mu n%d: ctl port undriven" n.nid)
+      | G.LiveIn i ->
+        if i < 0 || i >= List.length t.arg_tys then
+          err "livein index %d out of range" i
+      | G.LiveOut i ->
+        if i < 0 || i >= List.length t.res_tys then
+          err "liveout index %d out of range" i
+      | G.CallChild tid | G.SpawnChild tid -> (
+        match List.find_opt (fun (x : G.task) -> x.tid = tid) c.tasks with
+        | None -> err "call/spawn n%d: no task %d" n.nid tid
+        | Some child ->
+          let expected = List.length child.arg_tys in
+          (* inputs: pred + args (+ trailing order tokens) *)
+          if Array.length n.ins < expected then
+            err "call/spawn n%d: %d inputs < child arity %d" n.nid
+              (Array.length n.ins) expected;
+          if not (List.mem tid t.children) then
+            err "call/spawn n%d: %d not in children list" n.nid tid)
+      | G.Merge k ->
+        if Array.length n.ins <> 2 * k then
+          err "merge n%d: arity %d, expected %d" n.nid (Array.length n.ins)
+            (2 * k)
+      | _ -> ())
+    t.nodes;
+  (* Every live-out index is produced exactly once. *)
+  List.iteri
+    (fun i _ ->
+      let count =
+        List.length
+          (List.filter
+             (fun (n : G.node) -> n.kind = G.LiveOut i)
+             t.nodes)
+      in
+      if count <> 1 then err "liveout %d produced %d times" i count)
+    t.res_tys;
+  if t.tiles < 1 then err "tiles < 1";
+  if t.queue_depth < 1 then err "queue depth < 1";
+  (* Combinational (fused) edges must not form cycles. *)
+  let comb_succ nid =
+    List.filter_map
+      (fun (e : G.edge) ->
+        if fst e.src = nid && e.ekind = G.Comb then Some (fst e.dst) else None)
+      t.edges
+  in
+  let color = Hashtbl.create 64 in
+  let rec dfs nid =
+    match Hashtbl.find_opt color nid with
+    | Some `Done -> ()
+    | Some `Active -> err "combinational cycle through n%d" nid
+    | None ->
+      Hashtbl.replace color nid `Active;
+      List.iter dfs (comb_succ nid);
+      Hashtbl.replace color nid `Done
+  in
+  List.iter (fun (n : G.node) -> dfs n.nid) t.nodes;
+  List.rev !errs
+
+let validate (c : G.circuit) : error list =
+  let errs = ref [] in
+  let err fmt =
+    Fmt.kstr (fun m -> errs := { vwhere = c.cname; vwhat = m } :: !errs) fmt
+  in
+  (* Root exists. *)
+  (match List.find_opt (fun (t : G.task) -> t.tid = c.root) c.tasks with
+  | Some _ -> ()
+  | None -> err "root task %d missing" c.root);
+  (* Space map targets exist, and every space used by a memory node is
+     bound (or defaults to space 0's structure). *)
+  List.iter
+    (fun (sp, sid) ->
+      if not (List.exists (fun (s : G.struct_inst) -> s.sid = sid) c.structures)
+      then err "space %d bound to missing structure %d" sp sid)
+    c.space_map;
+  if not (List.mem_assoc 0 c.space_map) then
+    err "space 0 (global) must be bound to a structure";
+  List.iter
+    (fun t -> errs := validate_task c t @ !errs)
+    c.tasks;
+  List.rev !errs
+
+let check_exn (c : G.circuit) : unit =
+  match validate c with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Fmt.str "μIR validation failed:@,%a"
+         Fmt.(list ~sep:cut pp_error)
+         errs)

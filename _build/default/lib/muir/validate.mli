@@ -1,0 +1,14 @@
+(** Structural validation of μIR circuits.  μopt passes must leave
+    circuits valid; the pass manager re-checks after every pass. *)
+
+type error = { vwhere : string; vwhat : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate_task : Graph.circuit -> Graph.task -> error list
+
+val validate : Graph.circuit -> error list
+(** All structural violations (empty when the circuit is valid). *)
+
+val check_exn : Graph.circuit -> unit
+(** @raise Invalid_argument with a report if the circuit is invalid *)

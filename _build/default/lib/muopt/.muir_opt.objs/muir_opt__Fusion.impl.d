@@ -1,0 +1,1 @@
+lib/muopt/fusion.ml: Array Fmt Hashtbl List Muir_core Muir_ir Option Pass String

@@ -1,0 +1,1 @@
+lib/muopt/pass.ml: Fmt List Muir_core

@@ -1,0 +1,1 @@
+lib/muopt/stacks.ml: Fusion Muir_core Muir_ir Pass Structural Tensor

@@ -1,0 +1,1 @@
+lib/muopt/structural.ml: Fmt Hashtbl List Muir_core Muir_ir Pass

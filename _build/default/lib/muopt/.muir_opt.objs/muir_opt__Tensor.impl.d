@@ -1,0 +1,1 @@
+lib/muopt/tensor.ml: Fmt List Muir_core Muir_ir Pass

@@ -1,0 +1,42 @@
+(** The μopt pass framework.
+
+    A pass is an in-place transformation of a μIR circuit together
+    with a change report.  The report counts the graph elements the
+    pass touched (added, removed, or re-parameterized) — this is the
+    μIR side of the paper's Table 4 conciseness study, where the same
+    architectural change is also measured as a diff of the lowered
+    circuit ("FIRRTL") graph. *)
+
+module G = Muir_core.Graph
+
+type report = {
+  rname : string;
+  delta_nodes : int;  (** μIR nodes added/removed/re-parameterized *)
+  delta_edges : int;  (** μIR edges added/removed/rewired *)
+  detail : string;
+}
+
+let report ?(detail = "") rname ~nodes ~edges =
+  { rname; delta_nodes = nodes; delta_edges = edges; detail }
+
+type t = {
+  pname : string;
+  prun : G.circuit -> report;
+}
+
+(** Run passes in order, validating the circuit after each one.
+    Raises [Invalid_argument] if a pass breaks a structural
+    invariant. *)
+let run_all (passes : t list) (c : G.circuit) : report list =
+  List.map
+    (fun p ->
+      let r = p.prun c in
+      (try Muir_core.Validate.check_exn c
+       with Invalid_argument m ->
+         invalid_arg (Fmt.str "pass %s broke the circuit: %s" p.pname m));
+      r)
+    passes
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-24s Δnodes=%-4d Δedges=%-4d %s" r.rname r.delta_nodes
+    r.delta_edges r.detail

@@ -1,0 +1,60 @@
+(** Predefined pass stacks, mirroring the orderings the paper
+    evaluates (§6.5, Fig. 8 and Fig. 17). *)
+
+module G = Muir_core.Graph
+
+(** The full five-pass stack of Fig. 8 for Cilk-style accelerators:
+    task queuing → execution tiling → local scratchpads → scratchpad
+    banking → op fusion and pipelining. *)
+let cilk_stack ?(tiles = 4) ?(banks = 2) () : Pass.t list =
+  [ Structural.queuing_pass ();
+    Structural.tiling_pass ~tiles ();
+    Structural.localization_pass ();
+    Structural.scratchpad_banking_pass ~banks ();
+    Structural.cache_banking_pass ~banks ();
+    Fusion.pass ]
+
+(** The stack used for the loop-nest workloads in Fig. 17: cache
+    banking, memory localization, op fusion. *)
+let loop_stack ?(banks = 2) () : Pass.t list =
+  [ Structural.queuing_pass ();
+    Structural.cache_banking_pass ~banks ();
+    Structural.localization_pass ();
+    Fusion.pass ]
+
+(** The "every optimization" stack used against the ARM A9 (§6.6):
+    the loop stack plus execution tiling of every loop task, so
+    concurrent inner-loop invocations run on parallel units. *)
+let best_loop_stack ?(banks = 4) ?(tiles = 8) () : Pass.t list =
+  [ Structural.queuing_pass ();
+    Structural.tiling_pass ~scope:`All_loops ~tiles ();
+    Structural.cache_banking_pass ~banks ();
+    Structural.localization_pass ();
+    Structural.scratchpad_banking_pass ~banks ();
+    Fusion.pass ]
+
+(** The tensor stack: localization into type-specific scratchpads plus
+    dedicated tensor units (§6.3), then fusion. *)
+let tensor_stack () : Pass.t list =
+  [ Structural.queuing_pass ();
+    Structural.localization_pass ();
+    Tensor.pass;
+    Fusion.pass ]
+
+(** Every optimization the repository implements, in Fig. 8 order. *)
+let all ?(tiles = 4) ?(banks = 2) () : Pass.t list =
+  [ Structural.queuing_pass ();
+    Structural.tiling_pass ~tiles ();
+    Structural.localization_pass ();
+    Structural.scratchpad_banking_pass ~banks ();
+    Structural.cache_banking_pass ~banks ();
+    Tensor.pass;
+    Fusion.pass ]
+
+(** Apply a stack to a fresh circuit built from [prog]. *)
+let optimized ?(entry = "main") ?(name = "accelerator")
+    (passes : Pass.t list) (prog : Muir_ir.Program.t) :
+    G.circuit * Pass.report list =
+  let c = Muir_core.Build.circuit ~entry ~name prog in
+  let reports = Pass.run_all passes c in
+  (c, reports)

@@ -1,0 +1,241 @@
+(** The structural μopt passes: task-block queuing (Pass 1), execution
+    tiling (Pass 2), localized type-specific scratchpads (Pass 3 /
+    §6.4 memory localization = Algorithm 2), scratchpad banking
+    (Pass 4), and cache banking (§6.4).
+
+    These passes never touch a task's internal dataflow; they
+    re-parameterize the whole-accelerator graph — exactly the locality
+    of change the paper's Table 4 quantifies (tiling a task touches
+    one block node and its four boundary connections, independent of
+    the task's internal size). *)
+
+module G = Muir_core.Graph
+module P = Muir_ir.Program
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: task-block queuing                                           *)
+
+(** Deepen the asynchronous task queues so producers and consumers of
+    task invocations can proceed at different rates. *)
+let task_queuing ?(depth = 16) (c : G.circuit) : Pass.report =
+  let touched = ref 0 in
+  G.iter_tasks
+    (fun t ->
+      if t.queue_depth <> depth then begin
+        t.queue_depth <- depth;
+        incr touched
+      end)
+    c;
+  (* per task: the queue block and its two (enqueue/dequeue) links *)
+  Pass.report "task-queuing" ~nodes:!touched ~edges:(2 * !touched)
+    ~detail:(Fmt.str "depth=%d on %d tasks" depth !touched)
+
+let queuing_pass ?depth () : Pass.t =
+  { pname = "task-queuing"; prun = (fun c -> task_queuing ?depth c) }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: execution tiling                                             *)
+
+(** Replicate the execution units of the named task; by default every
+    spawned task (and every dynamically-scheduled recursive task) is
+    tiled — the ones with harvestable task-level parallelism.  With
+    [scope = `All_loops], every loop task is tiled as well: concurrent
+    invocations of an inner loop then run on parallel units, which is
+    how the optimized accelerators issue more operations per cycle
+    than a CPU (§6.6). *)
+let execution_tiling ?task ?(scope = `Spawned) (c : G.circuit)
+    ~(tiles : int) : Pass.report =
+  let eligible (t : G.task) =
+    match task with
+    | Some name -> t.tname = name
+    | None -> (
+      match scope with
+      | `All_loops -> (
+        match t.tkind with G.Tloop _ -> true | G.Tfunc -> false)
+      | `Spawned ->
+        (* spawned tasks: targets of SpawnChild nodes anywhere *)
+        List.exists
+          (fun (p : G.task) ->
+            List.exists
+              (fun (n : G.node) ->
+                match n.kind with
+                | G.SpawnChild tid -> tid = t.tid
+                | _ -> false)
+              p.nodes)
+          c.tasks)
+  in
+  let touched = ref 0 in
+  (* Tiling a task replicates its whole execution subtree: the loops
+     and helpers a tile runs must be replicated with it, or they would
+     re-serialize the tiles. *)
+  let visited = Hashtbl.create 8 in
+  let rec apply (t : G.task) =
+    if not (Hashtbl.mem visited t.tid) then begin
+      Hashtbl.add visited t.tid ();
+      if t.tiles < tiles then begin
+        t.tiles <- tiles;
+        incr touched
+      end;
+      List.iter (fun ch -> apply (G.task c ch)) t.children
+    end
+  in
+  G.iter_tasks (fun t -> if eligible t then apply t) c;
+  (* Replicating a task block touches the block node and its four
+     boundary connections (task-in, task-out, mem request, mem
+     response); the dispatcher crossbar is generated below μIR. *)
+  Pass.report "execution-tiling" ~nodes:!touched ~edges:(4 * !touched)
+    ~detail:(Fmt.str "%d tiles on %d tasks" tiles !touched)
+
+let tiling_pass ?task ?scope ~tiles () : Pass.t =
+  { pname = "execution-tiling";
+    prun = (fun c -> execution_tiling ?task ?scope c ~tiles) }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: localized type-specific scratchpads (Algorithm 2)            *)
+
+(** Memory-space analysis: which address spaces does each memory node
+    use?  (The compiler-IR points-to ran during construction; node
+    kinds already carry their space id, so this is the [Mem_groups]
+    map of Algorithm 2.) *)
+let memory_groups (c : G.circuit) : (G.space_id * G.node list) list =
+  let groups = Hashtbl.create 8 in
+  G.iter_tasks
+    (fun t ->
+      List.iter
+        (fun (n : G.node) ->
+          match G.node_space n with
+          | Some sp ->
+            Hashtbl.replace groups sp
+              (n :: (try Hashtbl.find groups sp with Not_found -> []))
+          | None -> ())
+        t.nodes)
+    c;
+  Hashtbl.fold (fun sp ns acc -> (sp, ns) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Give each (small enough) array its own local scratchpad instead of
+    going through the shared cache, and route its memory operations
+    there.  Arrays larger than [max_words] stay behind the cache.
+    The simulator charges the DMA prefill for scratchpad contents. *)
+let memory_localization ?(max_words = 8192) ?(latency = 2) (c : G.circuit) :
+    Pass.report =
+  let groups = memory_groups c in
+  let moved = ref 0 and routed = ref 0 in
+  List.iter
+    (fun (sp, ops) ->
+      if sp <> 0 then begin
+        let g =
+          List.find_opt (fun (g : P.global) -> g.gspace = sp) c.prog.globals
+        in
+        match g with
+        | Some g when g.gsize <= max_words ->
+          let already_local =
+            match (G.structure_of_space c sp).shape with
+            | G.Scratchpad _ -> true
+            | G.Cache _ -> false
+          in
+          if not already_local then begin
+            let s =
+              G.add_structure c ~sname:(Fmt.str "spad_%s" g.gname)
+                (G.Scratchpad
+                   { banks = 1; ports_per_bank = 1; latency;
+                     width_words = 1; wb_buffer = false })
+            in
+            G.bind_space c sp s.sid;
+            incr moved;
+            routed := !routed + List.length ops
+          end
+        | _ -> ()
+      end)
+    groups;
+  (* one structure node per new scratchpad; each memory op re-routed
+     is one connection change *)
+  Pass.report "memory-localization" ~nodes:!moved ~edges:!routed
+    ~detail:(Fmt.str "%d scratchpads, %d ops re-routed" !moved !routed)
+
+let localization_pass ?max_words ?latency () : Pass.t =
+  { pname = "memory-localization";
+    prun = (fun c -> memory_localization ?max_words ?latency c) }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: scratchpad banking                                           *)
+
+(** Raise scratchpad bank counts (word-interleaved) and widen the
+    junctions of tasks that use them, so more requests are granted per
+    cycle. *)
+let scratchpad_banking ?(banks = 2) ?(ports_per_bank = 1) (c : G.circuit) :
+    Pass.report =
+  let touched = ref 0 in
+  List.iter
+    (fun (s : G.struct_inst) ->
+      match s.shape with
+      | G.Scratchpad p ->
+        if p.banks <> banks || p.ports_per_bank <> ports_per_bank then begin
+          p.banks <- banks;
+          p.ports_per_bank <- ports_per_bank;
+          incr touched
+        end
+      | G.Cache _ -> ())
+    c.structures;
+  if !touched > 0 then
+    G.iter_tasks
+      (fun t ->
+        if G.memory_nodes t <> [] then
+          G.set_junction_width c t.tid
+            (max (G.junction_width c t.tid) banks))
+      c;
+  Pass.report "scratchpad-banking" ~nodes:!touched ~edges:(2 * !touched)
+    ~detail:(Fmt.str "%d banks on %d scratchpads" banks !touched)
+
+let scratchpad_banking_pass ?banks ?ports_per_bank () : Pass.t =
+  { pname = "scratchpad-banking";
+    prun = (fun c -> scratchpad_banking ?banks ?ports_per_bank c) }
+
+(** Attach write-back buffers to the scratchpads: stores acknowledge
+    in one cycle and drain in the background ("another option would be
+    introducing a separate writeback buffer", Pass 3 §4). *)
+let writeback_buffers (c : G.circuit) : Pass.report =
+  let touched = ref 0 in
+  List.iter
+    (fun (s : G.struct_inst) ->
+      match s.shape with
+      | G.Scratchpad p when not p.wb_buffer ->
+        p.wb_buffer <- true;
+        incr touched
+      | _ -> ())
+    c.structures;
+  Pass.report "writeback-buffer" ~nodes:!touched ~edges:!touched
+    ~detail:(Fmt.str "%d scratchpads buffered" !touched)
+
+let writeback_pass () : Pass.t =
+  { pname = "writeback-buffer"; prun = writeback_buffers }
+
+(* ------------------------------------------------------------------ *)
+(* Cache banking (§6.4)                                                 *)
+
+(** Bank the shared L1 cache (line-interleaved) to parallelize global
+    accesses, widening junctions to match. *)
+let cache_banking ?(banks = 2) (c : G.circuit) : Pass.report =
+  let touched = ref 0 in
+  List.iter
+    (fun (s : G.struct_inst) ->
+      match s.shape with
+      | G.Cache p ->
+        if p.banks <> banks then begin
+          p.banks <- banks;
+          incr touched
+        end
+      | G.Scratchpad _ -> ())
+    c.structures;
+  if !touched > 0 then
+    G.iter_tasks
+      (fun t ->
+        if G.memory_nodes t <> [] then
+          G.set_junction_width c t.tid
+            (max (G.junction_width c t.tid) banks))
+      c;
+  Pass.report "cache-banking" ~nodes:!touched ~edges:(2 * !touched)
+    ~detail:(Fmt.str "%d banks on %d caches" banks !touched)
+
+let cache_banking_pass ?banks () : Pass.t =
+  { pname = "cache-banking"; prun = (fun c -> cache_banking ?banks c) }

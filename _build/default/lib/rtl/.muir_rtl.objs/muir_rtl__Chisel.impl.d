@@ -1,0 +1,1 @@
+lib/rtl/chisel.ml: Array Buffer Fmt List Muir_core Muir_ir String

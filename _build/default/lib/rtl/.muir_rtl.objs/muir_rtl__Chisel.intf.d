@@ -1,0 +1,1 @@
+lib/rtl/chisel.mli: Muir_core

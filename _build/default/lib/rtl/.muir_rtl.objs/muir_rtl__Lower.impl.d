@@ -1,0 +1,1 @@
+lib/rtl/lower.ml: Fmt Hashtbl List Muir_core Muir_ir Rtl

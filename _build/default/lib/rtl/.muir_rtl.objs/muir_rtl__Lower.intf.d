@@ -1,0 +1,1 @@
+lib/rtl/lower.mli: Muir_core Rtl

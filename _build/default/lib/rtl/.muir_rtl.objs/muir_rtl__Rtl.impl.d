@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Fmt Hashtbl List String

@@ -1,0 +1,8 @@
+(** Chisel source emission — the textual Stage-3 output of the
+    toolchain (compare Figs. 4 and 6 in the paper). *)
+
+val class_name : Muir_core.Graph.task -> string
+(** Scala class name generated for a task module. *)
+
+val emit : Muir_core.Graph.circuit -> string
+(** The whole accelerator as Chisel source text. *)

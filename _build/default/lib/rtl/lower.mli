@@ -1,0 +1,6 @@
+(** Lowering μIR circuits to the component-level design: one function
+    unit + handshake per node, one register stage per channel, task
+    queues and dispatch crossbars, junction arbiters, and SRAM macros
+    per structure bank. *)
+
+val design : Muir_core.Graph.circuit -> Rtl.design

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Float Int64 List Muir_core Muir_ir

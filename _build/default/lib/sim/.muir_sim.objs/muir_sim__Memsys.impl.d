@@ -1,0 +1,1 @@
+lib/sim/memsys.ml: Array Hashtbl Int64 List Muir_core Muir_ir Queue

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Buffer Dump Exec Fmt Fun Hashtbl Int64 List Memsys Muir_core Muir_ir Option Queue String

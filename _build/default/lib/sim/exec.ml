@@ -1,0 +1,84 @@
+(** Functional evaluation of μIR node opcodes on tokens.  Shares the
+    arithmetic core with the golden interpreter via
+    {!Muir_ir.Eval}, so the simulator cannot drift semantically. *)
+
+module G = Muir_core.Graph
+module T = Muir_ir.Types
+module E = Muir_ir.Eval
+
+type token = T.value
+
+let poisoned args = List.exists T.is_poison args
+
+(** Arity of a scalar opcode (operands actually consumed; any further
+    inputs are ordering/trigger tokens whose values are ignored). *)
+let fu_arity : G.fu_op -> int = function
+  | Fibin _ | Ffbin _ | Ficmp _ | Ffcmp _ | Fgep _ -> 2
+  | Ffunary _ | Fcast _ | Fident -> 1
+  | Fselect -> 3
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let compute (op : G.fu_op) (args : token list) : token =
+  let args = take (fu_arity op) args in
+  if poisoned args then T.VPoison
+  else
+    match op, args with
+    | G.Fibin o, [ a; b ] -> T.VInt (E.ibin o (T.as_int a) (T.as_int b))
+    | G.Ffbin o, [ a; b ] -> T.VFloat (E.fbin o (T.as_float a) (T.as_float b))
+    | G.Ficmp o, [ a; b ] -> T.VBool (E.icmp o (T.as_int a) (T.as_int b))
+    | G.Ffcmp o, [ a; b ] ->
+      T.VBool (E.fcmp o (T.as_float a) (T.as_float b))
+    | G.Ffunary o, [ a ] -> T.VFloat (E.funary o (T.as_float a))
+    | G.Fcast o, [ a ] -> E.cast o a
+    | G.Fselect, [ c; a; b ] -> if T.truth c then a else b
+    | G.Fgep s, [ base; idx ] ->
+      T.VInt (Int64.add (T.as_int base) (Int64.mul (T.as_int idx)
+                (Int64.of_int s)))
+    | G.Fident, [ a ] -> a
+    | _ -> invalid_arg "Exec.compute: arity mismatch"
+
+(** A fused chain: the first opcode consumes its operands from the
+    head of [args]; each later opcode consumes the running result as
+    its first operand plus further tokens from [args]. *)
+let fused (ops : G.fu_op list) (args : token list) : token =
+  match ops with
+  | [] -> invalid_arg "Exec.fused: empty chain"
+  | first :: rest ->
+    let k0 = fu_arity first in
+    let acc = compute first (take k0 args) in
+    let rec go acc args = function
+      | [] -> acc
+      | op :: more ->
+        let extra = fu_arity op - 1 in
+        let acc' = compute op (acc :: take extra args) in
+        go acc'
+          (List.filteri (fun i _ -> i >= extra) args)
+          more
+    in
+    go acc (List.filteri (fun i _ -> i >= k0) args) rest
+
+(** Merge: pick the value whose predicate fired. *)
+let merge (k : int) (args : token array) : token =
+  let rec find i =
+    if i >= k then T.VPoison
+    else
+      match args.(i) with
+      | T.VBool true -> args.(k + i)
+      | T.VInt v when not (Int64.equal v 0L) -> args.(k + i)
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let tensor (top : G.tensor_op) (args : token list) : token =
+  if poisoned args then T.VPoison
+  else
+    match top, args with
+    | G.Tmul2, [ T.VTensor a; T.VTensor b ] ->
+      let n = int_of_float (Float.sqrt (float_of_int (Array.length a))) in
+      T.VTensor (E.tensor_mul { rows = n; cols = n } a b)
+    | G.Tadd2, [ T.VTensor a; T.VTensor b ] -> T.VTensor (E.tensor_add a b)
+    | G.Trelu2, [ T.VTensor a ] -> T.VTensor (E.tensor_relu a)
+    | _ -> invalid_arg "Exec.tensor: bad operands"

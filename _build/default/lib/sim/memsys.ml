@@ -1,0 +1,291 @@
+(** Runtime model of the memory structures: banked scratchpads and
+    set-associative caches in front of DRAM, fed through per-tile
+    junctions.  Functional data lives in the shared flat
+    {!Muir_ir.Memory} so results can be compared against the golden
+    interpreter; the structures model timing (latency, bank conflicts,
+    misses) and enforce per-bank FIFO order. *)
+
+module G = Muir_core.Graph
+module T = Muir_ir.Types
+
+(** One word-group processed by a single bank access. *)
+type subreq = {
+  sr_addrs : int list;          (** consecutive-ish words served together *)
+  sr_access : access;
+}
+
+(** A whole load/store as issued by a node: possibly many sub-requests
+    (tile accesses through the databox, §3.4). *)
+and access = {
+  a_is_store : bool;
+  a_words : (int * T.value option) array;
+      (** (address, store data); [None] for loads *)
+  mutable a_loaded : (int * T.value) list;
+  mutable a_pending : int;      (** sub-requests still in flight *)
+  mutable a_done : bool;
+  a_issued : int;               (** cycle of issue, for stats *)
+}
+
+type bank = {
+  bq : subreq Queue.t;
+  mutable busy_until : int;
+}
+
+(** LRU tag store of one cache bank: per set, most-recent-first lines. *)
+type tagstore = { sets : int; ways : int; lines : int list array }
+
+type struct_rt = {
+  inst : G.struct_inst;
+  banks : bank array;
+  tags : tagstore option;  (** caches only *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetches : int;
+  mutable accesses : int;
+  mutable busy_cycles : int;
+}
+
+type t = {
+  mem : Muir_ir.Memory.t;
+  structs : (G.struct_id * struct_rt) list;
+  space_of : G.space_id -> struct_rt;
+  mutable completions : (int * access) list;  (** (ready cycle, access) *)
+  mutable total_requests : int;
+}
+
+let create (c : G.circuit) (mem : Muir_ir.Memory.t) : t =
+  let mk_rt (s : G.struct_inst) =
+    let nbanks =
+      match s.shape with
+      | Scratchpad { banks; _ } | Cache { banks; _ } -> banks
+    in
+    let tags =
+      match s.shape with
+      | Scratchpad _ -> None
+      | Cache { banks; line_words; size_words; ways; _ } ->
+        let sets = max 1 (size_words / (line_words * ways * banks)) in
+        Some { sets; ways; lines = Array.make (sets * banks) [] }
+    in
+    ( s.sid,
+      { inst = s;
+        banks = Array.init (max nbanks 1) (fun _ ->
+                    { bq = Queue.create (); busy_until = 0 });
+        tags; hits = 0; misses = 0; prefetches = 0; accesses = 0;
+        busy_cycles = 0 } )
+  in
+  let structs = List.map mk_rt c.structures in
+  let space_of sp =
+    let s = G.structure_of_space c sp in
+    List.assoc s.sid structs
+  in
+  { mem; structs; space_of; completions = []; total_requests = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Access construction (the databox, §3.4)                              *)
+
+(** Group an access's words into bank transactions: scratchpads serve
+    up to [width_words] consecutive words per access; caches serve one
+    line per access (the databox coalesces words of the same line). *)
+let split (rt : struct_rt) (a : access) : subreq list =
+  let addrs = Array.to_list (Array.map fst a.a_words) in
+  match rt.inst.shape with
+  | Scratchpad { width_words; _ } ->
+    let rec group acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | w :: rest ->
+        if n < width_words then group acc (w :: cur) (n + 1) rest
+        else group (List.rev cur :: acc) [ w ] 1 rest
+    in
+    let groups = group [] [] 0 addrs in
+    List.map (fun g -> { sr_addrs = g; sr_access = a }) groups
+  | Cache { line_words; _ } ->
+    let by_line = Hashtbl.create 4 in
+    List.iter
+      (fun w ->
+        let l = w / line_words in
+        Hashtbl.replace by_line l
+          (w :: (try Hashtbl.find by_line l with Not_found -> [])))
+      addrs;
+    Hashtbl.fold
+      (fun _ ws acc -> { sr_addrs = List.rev ws; sr_access = a } :: acc)
+      by_line []
+
+(** Which bank serves a sub-request. *)
+let bank_of (rt : struct_rt) (sr : subreq) : int =
+  let nbanks = Array.length rt.banks in
+  match rt.inst.shape with
+  | Scratchpad { width_words; _ } ->
+    (List.hd sr.sr_addrs / max width_words 1) mod nbanks
+  | Cache { line_words; _ } -> List.hd sr.sr_addrs / line_words mod nbanks
+
+(** Enqueue a sub-request at its bank. *)
+let enqueue (ms : t) (rt : struct_rt) (sr : subreq) : unit =
+  ms.total_requests <- ms.total_requests + 1;
+  Queue.add sr rt.banks.(bank_of rt sr).bq
+
+(* ------------------------------------------------------------------ *)
+(* Cache tag handling                                                   *)
+
+let insert_line (ts : tagstore) ~(nbanks : int) (line : int) : unit =
+  let bank = line mod nbanks in
+  let set = line / nbanks mod ts.sets in
+  let idx = (bank * ts.sets) + set in
+  let cur = ts.lines.(idx) in
+  if not (List.mem line cur) then begin
+    let kept =
+      if List.length cur >= ts.ways then
+        List.filteri (fun i _ -> i < ts.ways - 1) cur
+      else cur
+    in
+    ts.lines.(idx) <- line :: kept
+  end
+
+let cache_lookup (ts : tagstore) ~(nbanks : int) ~(line_words : int)
+    (addr : int) : bool =
+  let line = addr / line_words in
+  let bank = line mod nbanks in
+  let set = line / nbanks mod ts.sets in
+  let idx = (bank * ts.sets) + set in
+  let cur = ts.lines.(idx) in
+  if List.mem line cur then begin
+    (* LRU touch *)
+    ts.lines.(idx) <- line :: List.filter (fun l -> l <> line) cur;
+    true
+  end
+  else begin
+    insert_line ts ~nbanks line;
+    false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-cycle advance                                                    *)
+
+let perform_words (ms : t) (a : access) (sr : subreq) : unit =
+  List.iter
+    (fun w ->
+      match
+        Array.to_list a.a_words
+        |> List.find_opt (fun (addr, _) -> addr = w)
+      with
+      | Some (_, Some v) -> Muir_ir.Memory.store ms.mem w v
+      | Some (_, None) ->
+        a.a_loaded <- (w, Muir_ir.Memory.load ms.mem w) :: a.a_loaded
+      | None -> ())
+    sr.sr_addrs
+
+(** Advance every structure by one cycle: each bank processes up to
+    [ports_per_bank] queued sub-requests (1 for caches), misses keep
+    the bank busy for the DRAM round trip. *)
+let step (ms : t) ~(now : int) : unit =
+  List.iter
+    (fun (_, rt) ->
+      let ports =
+        match rt.inst.shape with
+        | Scratchpad { ports_per_bank; _ } -> ports_per_bank
+        | Cache _ -> 1
+      in
+      Array.iter
+        (fun b ->
+          if b.busy_until > now then rt.busy_cycles <- rt.busy_cycles + 1
+          else
+            for _ = 1 to ports do
+              if b.busy_until <= now && not (Queue.is_empty b.bq) then begin
+                let sr = Queue.pop b.bq in
+                let a = sr.sr_access in
+                rt.accesses <- rt.accesses + 1;
+                let lat =
+                  match rt.inst.shape with
+                  | Scratchpad { latency; _ } -> latency
+                  | Cache { hit_latency; miss_latency; line_words; _ } ->
+                    let hit =
+                      match rt.tags with
+                      | Some ts ->
+                        cache_lookup ts ~nbanks:(Array.length rt.banks)
+                          ~line_words (List.hd sr.sr_addrs)
+                      | None -> true
+                    in
+                    if hit then begin
+                      rt.hits <- rt.hits + 1;
+                      (* single-ported SRAM macro: one access per two
+                         cycles per bank *)
+                      b.busy_until <- now + 2;
+                      hit_latency
+                    end
+                    else begin
+                      rt.misses <- rt.misses + 1;
+                      (* the miss occupies the bank for the DRAM
+                         command slot, not the full round trip —
+                         misses to a bank overlap (MSHR-style); a
+                         next-line prefetch rides the open DRAM row,
+                         so unit-stride streams are bandwidth-bound *)
+                      (match rt.tags with
+                      | Some ts ->
+                        rt.prefetches <- rt.prefetches + 1;
+                        insert_line ts ~nbanks:(Array.length rt.banks)
+                          ((List.hd sr.sr_addrs / line_words) + 1)
+                      | None -> ());
+                      b.busy_until <- now + (miss_latency / 5);
+                      miss_latency
+                    end
+                in
+                perform_words ms a sr;
+                ms.completions <- (now + lat, a) :: ms.completions
+              end
+            done)
+        rt.banks)
+    ms.structs;
+  (* Deliver completions that are due. *)
+  let due, later = List.partition (fun (t, _) -> t <= now) ms.completions in
+  ms.completions <- later;
+  List.iter
+    (fun (_, a) ->
+      a.a_pending <- a.a_pending - 1;
+      if a.a_pending <= 0 then a.a_done <- true)
+    due
+
+(** Does this structure acknowledge stores from a write-back buffer? *)
+let store_buffered (rt : struct_rt) : bool =
+  match rt.inst.shape with
+  | G.Scratchpad { wb_buffer; _ } -> wb_buffer
+  | G.Cache _ -> false
+
+(** Issue a whole access: split into sub-requests and enqueue. *)
+let issue (ms : t) (space : G.space_id) (a : access) : unit =
+  let rt = ms.space_of space in
+  let srs = split rt a in
+  a.a_pending <- List.length srs;
+  List.iter (enqueue ms rt) srs
+
+(** Assembled load value for a scalar access. *)
+let scalar_value (a : access) : T.value =
+  match a.a_loaded with
+  | [ (_, v) ] -> v
+  | _ -> invalid_arg "Memsys.scalar_value: not a completed scalar load"
+
+(** Assemble a tile from a completed tensor load, in the word order the
+    access was built with. *)
+let tile_value (a : access) : T.value =
+  let data =
+    Array.map
+      (fun (addr, _) ->
+        match List.assoc_opt addr a.a_loaded with
+        | Some (T.VFloat f) -> f
+        | Some (T.VInt i) -> Int64.to_float i
+        | _ -> 0.0)
+      a.a_words
+  in
+  T.VTensor data
+
+type struct_stats = {
+  ss_name : string;
+  ss_accesses : int;
+  ss_hits : int;
+  ss_misses : int;
+}
+
+let stats (ms : t) : struct_stats list =
+  List.map
+    (fun (_, rt) ->
+      { ss_name = rt.inst.sname; ss_accesses = rt.accesses;
+        ss_hits = rt.hits; ss_misses = rt.misses })
+    ms.structs

@@ -1,0 +1,1064 @@
+(** Cycle-level simulation of μIR circuits.
+
+    Execution model (§3.2 of the paper): the circuit is a set of
+    asynchronously running task blocks.  Each task has a hardware
+    queue of pending invocations and [tiles] execution units.  Within
+    a task, execution is a pipelined latency-insensitive dataflow:
+    every edge is a ready/valid channel (a register stage), nodes fire
+    when all wired inputs hold tokens and downstream has space, and
+    concurrent invocations complete in order of invocation.
+
+    Two task-instance disciplines exist:
+    - ordinary tasks run one {e instance per tile}; function tasks
+      pipeline multiple invocations through an instance (wave
+      pipelining), loop tasks process one invocation at a time (the
+      loop ring already pipelines its iterations);
+    - tasks on a call/spawn cycle (recursive Cilk tasks such as FIB
+      and M-SORT) are {e dynamic}: each invocation gets its own
+      context, contexts park while blocked, and at most [tiles]
+      contexts may fire datapath operations in a cycle — the
+      issue-queue + execution-tile structure of §3.6.
+
+    Functional results are written to the same flat memory the golden
+    interpreter uses, so every simulation is checkable end to end. *)
+
+module G = Muir_core.Graph
+module Cost = Muir_core.Cost
+module T = Muir_ir.Types
+module I = Muir_ir.Instr
+module E = Muir_ir.Eval
+
+type token = T.value
+
+(* ------------------------------------------------------------------ *)
+(* Channels                                                             *)
+
+type fifo = {
+  fq : token Queue.t;
+  mutable staged : token list;
+  cap : int;
+}
+
+let fifo_space (f : fifo) = Queue.length f.fq + List.length f.staged < f.cap
+let fifo_push (f : fifo) (v : token) = f.staged <- f.staged @ [ v ]
+let fifo_commit (f : fifo) =
+  List.iter (fun v -> Queue.add v f.fq) f.staged;
+  f.staged <- []
+
+(* ------------------------------------------------------------------ *)
+(* Runtime structures                                                   *)
+
+type sync_ctx = { mutable live_children : int }
+
+type reply =
+  | Rroot
+  | Rcall of { r_inst : instance; r_node : int; r_wave : int }
+  | Rspawn of {
+      r_inst : instance;
+      r_node : int;
+      r_wave : int;
+      r_ctx : sync_ctx;  (** decremented when the child completes *)
+    }
+
+and invocation = {
+  iv_wave : int;
+  iv_reply : reply;
+  iv_eff_ctx : sync_ctx;        (** where this invocation's spawns join *)
+  iv_own_ctx : sync_ctx option; (** fresh context (function tasks) *)
+  iv_liveouts : token option array;
+  mutable iv_stores : int;      (** outstanding stores attributed here *)
+}
+
+and mem_entry = {
+  me_acc : Memsys.access option;  (** [None] when predicated off *)
+  me_gated : token;               (** data token to emit when gated *)
+  me_inv : invocation option;     (** store attribution (loads: None ok) *)
+  me_is_store : bool;
+}
+
+and node_rt = {
+  nr : G.node;
+  nr_cost : Cost.t;
+  nr_in : fifo option array;      (** [None] = immediate slot *)
+  nr_imm : token array;           (** immediate values (valid when in=None) *)
+  nr_out : fifo list array;       (** per out port: fan-out channels *)
+  mutable nr_fired : int;         (** firings so far (the wave counter) *)
+  mutable nr_busy_until : int;
+  nr_pipe : (int * (int * token) list) Queue.t;
+      (** (emit-at cycle, [(port, token)]) *)
+  nr_mem : mem_entry Queue.t;     (** loads/stores in flight, FIFO *)
+  nr_resp : (int, token array) Hashtbl.t;  (** call/spawn reorder buffer *)
+  mutable nr_next_resp : int;
+  nr_sync : (invocation * int) Queue.t;
+      (** pending sync waits: (invocation, wave) *)
+}
+
+and instance = {
+  it : G.task;
+  iid : int;
+  inodes : node_rt array;
+  inode_by_id : node_rt option array;  (** node id -> runtime (ids are
+                                           sparse after fusion) *)
+  ififos : fifo array;            (** indexed by edge id *)
+  mutable inflight : (int * invocation) list;  (** wave -> invocation *)
+  mutable next_wave : int;
+  mutable live : bool;            (** dynamic instances are retired *)
+  idynamic : bool;
+  ipipe_loop : bool;
+      (** leaf loop (no stores/calls/spawns/syncs): safe to pipeline
+          invocations through the ring, like the paper's in-order
+          concurrent invocations *)
+  iprime : int array;             (** resting token count per edge *)
+  mutable junction : (G.space_id * Memsys.subreq) Queue.t;
+}
+
+type task_rt = {
+  tk : G.task;
+  tqueue : msg Queue.t;           (** pending invocations *)
+  mutable tinstances : instance list;
+  tdynamic : bool;
+  mutable tinvocations : int;     (** total, for stats *)
+  mutable tbusy : int;            (** cycles with at least one firing *)
+  mutable trr : int;              (** round-robin dispatch cursor *)
+}
+
+and msg = {
+  m_args : token array;
+  m_ctx : sync_ctx;
+  m_reply : reply;
+}
+
+type stats = {
+  cycles : int;
+  dma_cycles : int;
+  total_cycles : int;
+  fires : int;
+  invocations : (string * int) list;
+  utilization : (string * float) list;
+      (** per task: fraction of cycles with at least one node firing *)
+  mem : Memsys.struct_stats list;
+  mem_requests : int;
+}
+
+type result = {
+  value : token;                  (** root task's return value *)
+  memory : Muir_ir.Memory.t;
+  stats : stats;
+}
+
+exception Deadlock of string
+exception Cycle_limit of int
+
+(* ------------------------------------------------------------------ *)
+(* Simulator state                                                      *)
+
+type t = {
+  circ : G.circuit;
+  ms : Memsys.t;
+  tasks : task_rt array;          (** indexed by task id *)
+  mutable now : int;
+  mutable fires : int;
+  mutable last_activity : int;
+  mutable next_iid : int;
+  mutable root_result : token array option;
+  junction_width : int array;     (** per task *)
+  max_outstanding : int;
+}
+
+(* Tasks on a call/spawn cycle need dynamic instances. *)
+let dynamic_tasks (c : G.circuit) : bool array =
+  let n = List.length c.tasks in
+  let reach = Array.make_matrix n n false in
+  List.iter
+    (fun (t : G.task) ->
+      List.iter (fun ch -> reach.(t.tid).(ch) <- true) t.children)
+    c.tasks;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  (* A task is dynamic if it lies on a cycle, or is reachable from one
+     (its parents may hold unbounded concurrent invocations). *)
+  let on_cycle = Array.init n (fun i -> reach.(i).(i)) in
+  Array.init n (fun i ->
+      on_cycle.(i)
+      || List.exists
+           (fun j -> on_cycle.(j) && reach.(j).(i))
+           (List.init n Fun.id))
+
+let imm_token = function
+  | G.Simm v -> v
+  | G.Swire -> T.VPoison
+
+let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
+  let nedges = task.next_eid in
+  let fifos =
+    Array.init nedges (fun _ ->
+        { fq = Queue.create (); staged = []; cap = 1 })
+  in
+  List.iter
+    (fun (e : G.edge) ->
+      let f = { fq = Queue.create (); staged = []; cap = e.capacity } in
+      List.iter (fun v -> Queue.add v f.fq) e.initial;
+      fifos.(e.eid) <- f)
+    task.edges;
+  let max_nid = task.next_nid in
+  let by_id = Array.make max_nid None in
+  List.iter (fun (n : G.node) -> by_id.(n.nid) <- Some n) task.nodes;
+  let in_map = Hashtbl.create 64 and out_map = Hashtbl.create 64 in
+  List.iter
+    (fun (e : G.edge) ->
+      Hashtbl.replace in_map e.dst e.eid;
+      Hashtbl.replace out_map e.src
+        (e.eid :: (try Hashtbl.find out_map e.src with Not_found -> [])))
+    task.edges;
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun (n : G.node) ->
+           let arity = Array.length n.ins in
+           let nr_in =
+             Array.init arity (fun i ->
+                 match n.ins.(i) with
+                 | G.Simm _ -> None
+                 | G.Swire -> (
+                   match Hashtbl.find_opt in_map (n.nid, i) with
+                   | Some eid -> Some fifos.(eid)
+                   | None -> None (* validated: shouldn't happen *)))
+           in
+           let nr_imm = Array.map imm_token n.ins in
+           let outs = G.out_arity n.kind ~call_res:16 in
+           let nr_out =
+             Array.init (max outs 1) (fun p ->
+                 match Hashtbl.find_opt out_map (n.nid, p) with
+                 | Some eids -> List.map (fun e -> fifos.(e)) eids
+                 | None -> [])
+           in
+           { nr = n; nr_cost = Cost.node_cost n.kind; nr_in; nr_imm;
+             nr_out; nr_fired = 0; nr_busy_until = 0;
+             nr_pipe = Queue.create (); nr_mem = Queue.create ();
+             nr_resp = Hashtbl.create 8; nr_next_resp = 0;
+             nr_sync = Queue.create () })
+         task.nodes)
+  in
+  let iid = sim.next_iid in
+  sim.next_iid <- iid + 1;
+  let iprime = Array.make nedges 0 in
+  List.iter
+    (fun (e : G.edge) -> iprime.(e.eid) <- List.length e.initial)
+    task.edges;
+  let ipipe_loop =
+    (match task.tkind with G.Tloop _ -> true | G.Tfunc -> false)
+    && List.for_all
+         (fun (n : G.node) ->
+           match n.kind with
+           | G.Store _ | G.Tstore _ | G.CallChild _ | G.SpawnChild _
+           | G.SyncWait -> false
+           | _ -> true)
+         task.nodes
+  in
+  let inode_by_id = Array.make (max max_nid 1) None in
+  Array.iter (fun nr -> inode_by_id.(nr.nr.G.nid) <- Some nr) nodes;
+  { it = task; iid; inodes = nodes; inode_by_id; ififos = fifos;
+    inflight = []; next_wave = 0; live = true; idynamic = dynamic;
+    ipipe_loop; iprime; junction = Queue.create () }
+
+let create (c : G.circuit) : t =
+  Muir_core.Validate.check_exn c;
+  let mem = Muir_ir.Memory.create c.prog in
+  let ms = Memsys.create c mem in
+  let n = List.length c.tasks in
+  let dyn = dynamic_tasks c in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (t : G.task) ->
+           { tk = t; tqueue = Queue.create (); tinstances = [];
+             tdynamic = dyn.(t.tid); tinvocations = 0; tbusy = 0;
+             trr = 0 })
+         c.tasks)
+  in
+  let sim =
+    { circ = c; ms; tasks; now = 0; fires = 0; last_activity = 0;
+      next_iid = 0; root_result = None;
+      junction_width =
+        Array.init n (fun tid -> G.junction_width c tid);
+      max_outstanding = 8 }
+  in
+  (* Static instances for non-dynamic tasks: one per tile. *)
+  Array.iter
+    (fun trt ->
+      if not trt.tdynamic then
+        trt.tinstances <-
+          List.init trt.tk.tiles (fun _ ->
+              new_instance sim trt.tk ~dynamic:false))
+    tasks;
+  sim
+
+(* ------------------------------------------------------------------ *)
+(* Invocation plumbing                                                  *)
+
+let find_inv (inst : instance) (wave : int) : invocation =
+  match List.assoc_opt wave inst.inflight with
+  | Some iv -> iv
+  | None ->
+    raise
+      (Deadlock
+         (Fmt.str "task %s: no inflight invocation for wave %d" inst.it.tname
+            wave))
+
+(** The invocation a firing of node [n] belongs to.  In function tasks
+    every node fires exactly once per wave; in loop tasks only one
+    invocation is in flight, so attribution is exact in both cases. *)
+let attr_inv (inst : instance) (n : node_rt) : invocation =
+  match inst.it.tkind with
+  | G.Tfunc -> find_inv inst n.nr_fired
+  | G.Tloop _ -> (
+    match inst.inflight with
+    | (_, iv) :: _ -> iv
+    | [] ->
+      raise
+        (Deadlock
+           (Fmt.str "loop task %s fired with no inflight invocation"
+              inst.it.tname)))
+
+(** Can this instance accept another invocation right now? *)
+let can_accept (inst : instance) : bool =
+  (match inst.it.tkind with
+  | G.Tloop _ -> inst.ipipe_loop || inst.inflight = []
+  | G.Tfunc -> true)
+  && List.for_all
+       (fun (n : node_rt) ->
+         match n.nr.kind with
+         | G.LiveIn _ -> Array.for_all (List.for_all fifo_space) n.nr_out
+         | _ -> true)
+       (Array.to_list inst.inodes)
+
+let inject (sim : t) (trt : task_rt) (inst : instance) (m : msg) : unit =
+  let wave = inst.next_wave in
+  inst.next_wave <- wave + 1;
+  trt.tinvocations <- trt.tinvocations + 1;
+  let own_ctx =
+    match inst.it.tkind with
+    | G.Tfunc -> Some { live_children = 0 }
+    | G.Tloop _ -> None
+  in
+  let iv =
+    { iv_wave = wave; iv_reply = m.m_reply;
+      iv_eff_ctx =
+        (match own_ctx with Some c -> c | None -> m.m_ctx);
+      iv_own_ctx = own_ctx;
+      iv_liveouts = Array.make (List.length inst.it.res_tys) None;
+      iv_stores = 0 }
+  in
+  inst.inflight <- inst.inflight @ [ (wave, iv) ];
+  Array.iter
+    (fun (n : node_rt) ->
+      match n.nr.kind with
+      | G.LiveIn i ->
+        let v = if i < Array.length m.m_args then m.m_args.(i) else T.VPoison in
+        List.iter (fun f -> fifo_push f v) n.nr_out.(0)
+      | _ -> ())
+    inst.inodes;
+  sim.last_activity <- sim.now
+
+(** Deliver a completed child's results to its parent. *)
+let deliver_reply (sim : t) (reply : reply) (res : token array) : unit =
+  match reply with
+  | Rroot -> sim.root_result <- Some res
+  | Rcall { r_inst; r_node; r_wave } ->
+    let n = Option.get r_inst.inode_by_id.(r_node) in
+    Hashtbl.replace n.nr_resp r_wave res
+  | Rspawn { r_inst; r_node; r_wave; r_ctx } ->
+    r_ctx.live_children <- r_ctx.live_children - 1;
+    let v = if Array.length res > 1 then res.(1) else T.VBool true in
+    let n = Option.get r_inst.inode_by_id.(r_node) in
+    Hashtbl.replace n.nr_resp r_wave [| v |]
+
+(** A function-task wave is fully fired once every node (live-ins are
+    driven by injection) has consumed it — this is exact because every
+    node fires exactly once per wave in a predicated hyperblock. *)
+let wave_fully_fired (inst : instance) (wave : int) : bool =
+  Array.for_all
+    (fun (n : node_rt) ->
+      match n.nr.kind with
+      | G.LiveIn _ -> true
+      | G.CallChild _ | G.SpawnChild _ ->
+        (* The child invoked for this wave must itself have completed
+           (its response emitted in order): a void call's side effects
+           otherwise race ahead of the caller's completion. *)
+        n.nr_fired > wave && n.nr_next_resp > wave
+      | _ -> n.nr_fired > wave)
+    inst.inodes
+
+(** A loop instance is quiescent when every token at rest sits on a
+    primed edge (loop-control or ordering back edges) at its resting
+    count and no node holds in-flight work.  Mid-invocation the
+    carried values necessarily occupy other channels or pipelines, so
+    quiescence is equivalent to "the invocation has fully drained". *)
+let loop_quiescent (inst : instance) : bool =
+  Array.for_all
+    (fun (n : node_rt) ->
+      Queue.is_empty n.nr_pipe && Queue.is_empty n.nr_mem
+      && Hashtbl.length n.nr_resp = 0
+      && Queue.is_empty n.nr_sync
+      && (match n.nr.kind with
+         | G.CallChild _ | G.SpawnChild _ -> n.nr_next_resp = n.nr_fired
+         | _ -> true))
+    inst.inodes
+  && Queue.is_empty inst.junction
+  && Array.for_all2
+       (fun (f : fifo) prime ->
+         Queue.length f.fq + List.length f.staged = prime)
+       inst.ififos inst.iprime
+
+let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
+  let complete, keep =
+    List.partition
+      (fun (wave, iv) ->
+        Array.for_all Option.is_some iv.iv_liveouts
+        && iv.iv_stores = 0
+        && (match iv.iv_own_ctx with
+           | Some c -> c.live_children = 0
+           | None -> true)
+        && (match inst.it.tkind with
+           | G.Tfunc -> wave_fully_fired inst wave
+           | G.Tloop _ ->
+             (* leaf loops have no side effects to wait for: the
+                live-out tuple is the whole observable result *)
+             inst.ipipe_loop || loop_quiescent inst))
+      inst.inflight
+  in
+  if complete <> [] then begin
+    inst.inflight <- keep;
+    sim.last_activity <- sim.now;
+    List.iter
+      (fun (_, iv) ->
+        let res = Array.map Option.get iv.iv_liveouts in
+        deliver_reply sim iv.iv_reply res)
+      complete;
+    if inst.idynamic && keep = [] then begin
+      inst.live <- false;
+      trt.tinstances <-
+        List.filter (fun i -> i.iid <> inst.iid) trt.tinstances
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node firing (phase A)                                                *)
+
+let peek_in (n : node_rt) (i : int) : token option =
+  match n.nr_in.(i) with
+  | None -> Some n.nr_imm.(i)
+  | Some f -> if Queue.is_empty f.fq then None else Some (Queue.peek f.fq)
+
+let pop_in (n : node_rt) (i : int) : token =
+  match n.nr_in.(i) with
+  | None -> n.nr_imm.(i)
+  | Some f -> Queue.pop f.fq
+
+let all_inputs_ready (n : node_rt) : bool =
+  let ok = ref true in
+  Array.iteri
+    (fun i _ -> if peek_in n i = None then ok := false)
+    n.nr_in;
+  !ok
+
+let truthy (v : token) =
+  match v with
+  | T.VBool b -> b
+  | T.VInt i -> not (Int64.equal i 0L)
+  | _ -> false
+
+(** Build the word list of a memory access. *)
+let access_words (kind : G.node_kind) (addr : int) (stride : int)
+    (value : token) : (int * token option) array =
+  match kind with
+  | G.Load _ -> [| (addr, None) |]
+  | G.Store _ -> [| (addr, Some value) |]
+  | G.Tload { shape; _ } ->
+    Array.init (T.shape_words shape) (fun i ->
+        let r = i / shape.cols and c = i mod shape.cols in
+        (addr + (r * stride) + c, None))
+  | G.Tstore { shape; _ } ->
+    let tile = match value with T.VTensor a -> a | _ -> Array.make 4 0.0 in
+    Array.init (T.shape_words shape) (fun i ->
+        let r = i / shape.cols and c = i mod shape.cols in
+        (addr + (r * stride) + c, Some (T.VFloat tile.(i))))
+  | _ -> invalid_arg "access_words"
+
+let to_int (v : token) : int =
+  match v with
+  | T.VInt i -> Int64.to_int i
+  | T.VBool true -> 1
+  | T.VBool false -> 0
+  | _ -> 0
+
+(** Attempt to fire node [n] of [inst]; true if it fired. *)
+let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
+    =
+  let now = sim.now in
+  if n.nr_busy_until > now then false
+  else
+    match n.nr.kind with
+    | G.LiveIn _ -> false (* driven by injection *)
+    | G.MergeLoop -> (
+      (* Consume ctl, then the selected data input only. *)
+      match peek_in n 0 with
+      | None -> false
+      | Some ctl ->
+        let sel = if truthy ctl then 2 else 1 in
+        (match peek_in n sel with
+        | None -> false
+        | Some _ ->
+          if Queue.length n.nr_pipe >= 4 then false
+          else begin
+            ignore (pop_in n 0);
+            let v = pop_in n sel in
+            Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+            n.nr_fired <- n.nr_fired + 1;
+            true
+          end))
+    | _ ->
+      if not (all_inputs_ready n) then false
+      else if Queue.length n.nr_pipe >= 4 && not (G.is_memory_node n.nr) then
+        false
+      else begin
+        match n.nr.kind with
+        | G.Compute op ->
+          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          let v = Exec.compute op args in
+          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          n.nr_busy_until <- now + n.nr_cost.ii;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.Fused ops ->
+          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          let v = Exec.fused ops args in
+          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          n.nr_busy_until <- now + n.nr_cost.ii;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.Merge k ->
+          let args = Array.init (Array.length n.nr_in) (fun i -> peek_in n i |> Option.get) in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          let v = Exec.merge k args in
+          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.Steer ->
+          let p = peek_in n 0 |> Option.get in
+          let d = peek_in n 1 |> Option.get in
+          ignore (pop_in n 0);
+          ignore (pop_in n 1);
+          let port = if truthy p then 0 else 1 in
+          Queue.add (now + n.nr_cost.latency - 1, [ (port, d) ]) n.nr_pipe;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.FusedSteer ops ->
+          let p = peek_in n 0 |> Option.get in
+          let args =
+            List.init
+              (Array.length n.nr_in - 1)
+              (fun i -> peek_in n (i + 1) |> Option.get)
+          in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          let v = Exec.fused ops args in
+          let port = if truthy p then 0 else 1 in
+          Queue.add (now + n.nr_cost.latency - 1, [ (port, v) ]) n.nr_pipe;
+          n.nr_busy_until <- now + n.nr_cost.ii;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.Tcompute { top; _ } ->
+          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          let v = Exec.tensor top args in
+          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          n.nr_busy_until <- now + n.nr_cost.ii;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.Load { space } | G.Store { space }
+        | G.Tload { space; _ } | G.Tstore { space; _ } ->
+          if Queue.length n.nr_mem >= sim.max_outstanding then false
+          else begin
+            let is_store_kind =
+              match n.nr.kind with
+              | G.Store _ | G.Tstore _ -> true
+              | _ -> false
+            in
+            let inv =
+              if is_store_kind then Some (attr_inv inst n)
+              else
+                match inst.inflight with
+                | (_, iv) :: _ -> Some iv
+                | [] -> None
+            in
+            let pred = peek_in n 0 |> Option.get in
+            let is_store = is_store_kind in
+            let addr = peek_in n 1 |> Option.get in
+            let stride, value =
+              match n.nr.kind with
+              | G.Load _ -> (T.VInt 0L, T.VPoison)
+              | G.Store _ -> (T.VInt 0L, peek_in n 2 |> Option.get)
+              | G.Tload _ -> (peek_in n 2 |> Option.get, T.VPoison)
+              | G.Tstore _ ->
+                (peek_in n 2 |> Option.get, peek_in n 3 |> Option.get)
+              | _ -> assert false
+            in
+            Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+            if truthy pred && not (T.is_poison addr) then begin
+              let words =
+                access_words n.nr.kind (to_int addr) (to_int stride) value
+              in
+              let a =
+                { Memsys.a_is_store = is_store; a_words = words;
+                  a_loaded = []; a_pending = 0; a_done = false;
+                  a_issued = now }
+              in
+              let rt = sim.ms.space_of space in
+              let srs = Memsys.split rt a in
+              a.a_pending <- List.length srs;
+              let buffered = is_store && Memsys.store_buffered rt in
+              (match inv with
+              | Some iv when is_store && not buffered ->
+                iv.iv_stores <- iv.iv_stores + 1
+              | _ -> ());
+              List.iter (fun sr -> Queue.add (space, sr) inst.junction) srs;
+              (* write-back buffer: the store is architecturally done
+                 the moment the buffer accepts it; it drains to the
+                 bank in FIFO order behind this point *)
+              if buffered then a.Memsys.a_done <- true;
+              Queue.add
+                { me_acc = Some a; me_gated = T.VPoison; me_inv = inv;
+                  me_is_store = is_store }
+                n.nr_mem
+            end
+            else
+              Queue.add
+                { me_acc = None; me_gated = T.VPoison; me_inv = inv;
+                  me_is_store = is_store }
+                n.nr_mem;
+            n.nr_busy_until <- now + n.nr_cost.ii;
+            n.nr_fired <- n.nr_fired + 1;
+            true
+          end
+        | G.CallChild tid | G.SpawnChild tid ->
+          let pred = peek_in n 0 |> Option.get in
+          let child = sim.tasks.(tid) in
+          let is_spawn =
+            match n.nr.kind with G.SpawnChild _ -> true | _ -> false
+          in
+          let child_arity = List.length child.tk.arg_tys in
+          let queue_cap = child.tk.queue_depth * max child.tk.tiles 1 in
+          if truthy pred && Queue.length child.tqueue >= queue_cap
+             && not child.tdynamic
+          then false
+          else begin
+            let wave = n.nr_fired in
+            let inv = attr_inv inst n in
+            let args =
+              Array.init child_arity (fun i ->
+                  if i = 0 then T.VBool true
+                  else
+                    match peek_in n i with
+                    | Some v -> v
+                    | None -> T.VPoison)
+            in
+            Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+            if truthy pred then begin
+              let reply =
+                if is_spawn then begin
+                  inv.iv_eff_ctx.live_children <-
+                    inv.iv_eff_ctx.live_children + 1;
+                  Rspawn
+                    { r_inst = inst; r_node = n.nr.nid; r_wave = wave;
+                      r_ctx = inv.iv_eff_ctx }
+                end
+                else Rcall { r_inst = inst; r_node = n.nr.nid; r_wave = wave }
+              in
+              Queue.add
+                { m_args = args; m_ctx = inv.iv_eff_ctx; m_reply = reply }
+                child.tqueue
+            end
+            else begin
+              (* Predicated off: synthesize an immediate response. *)
+              let res =
+                if is_spawn then [| T.VPoison |]
+                else
+                  Array.of_list
+                    (List.mapi
+                       (fun i _ -> if i = 0 then T.VBool false else T.VPoison)
+                       child.tk.res_tys)
+              in
+              Hashtbl.replace n.nr_resp wave res
+            end;
+            n.nr_busy_until <- now + n.nr_cost.ii;
+            n.nr_fired <- n.nr_fired + 1;
+            true
+          end
+        | G.SyncWait ->
+          let inv = attr_inv inst n in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Queue.add (inv, n.nr_fired) n.nr_sync;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.LiveOut idx ->
+          let v = peek_in n 0 |> Option.get in
+          let inv =
+            match inst.it.tkind with
+            | G.Tfunc -> find_inv inst n.nr_fired
+            | G.Tloop _ -> attr_inv inst n
+          in
+          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          inv.iv_liveouts.(idx) <- Some v;
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        | G.LiveIn _ | G.MergeLoop -> assert false
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Emission (phase B)                                                   *)
+
+let ports_have_space (n : node_rt) (outs : (int * token) list) : bool =
+  List.for_all
+    (fun (p, _) -> List.for_all fifo_space n.nr_out.(p))
+    outs
+
+let emit_ports (n : node_rt) (outs : (int * token) list) : unit =
+  List.iter
+    (fun (p, v) -> List.iter (fun f -> fifo_push f v) n.nr_out.(p))
+    outs
+
+let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
+  let progressed = ref false in
+  (* Pipeline outputs (in order). *)
+  let rec drain_pipe () =
+    if not (Queue.is_empty n.nr_pipe) then begin
+      let ready, outs = Queue.peek n.nr_pipe in
+      if ready <= sim.now && ports_have_space n outs then begin
+        ignore (Queue.pop n.nr_pipe);
+        emit_ports n outs;
+        progressed := true;
+        drain_pipe ()
+      end
+    end
+  in
+  drain_pipe ();
+  (* Memory responses (FIFO per node). *)
+  let rec drain_mem () =
+    if not (Queue.is_empty n.nr_mem) then begin
+      let e = Queue.peek n.nr_mem in
+      let ready =
+        match e.me_acc with None -> true | Some a -> a.a_done
+      in
+      if ready then begin
+        let outs =
+          match n.nr.kind, e.me_acc with
+          | (G.Load _ | G.Tload _), None ->
+            [ (0, e.me_gated); (1, T.VBool false) ]
+          | G.Load _, Some a -> [ (0, Memsys.scalar_value a); (1, T.VBool true) ]
+          | G.Tload _, Some a -> [ (0, Memsys.tile_value a); (1, T.VBool true) ]
+          | (G.Store _ | G.Tstore _), None -> [ (0, T.VBool false) ]
+          | (G.Store _ | G.Tstore _), Some _ -> [ (0, T.VBool true) ]
+          | _ -> assert false
+        in
+        if ports_have_space n outs then begin
+          ignore (Queue.pop n.nr_mem);
+          (match e.me_inv with
+          | Some iv when e.me_is_store && e.me_acc <> None ->
+            if iv.iv_stores > 0 then iv.iv_stores <- iv.iv_stores - 1
+          | _ -> ());
+          emit_ports n outs;
+          progressed := true;
+          drain_mem ()
+        end
+      end
+    end
+  in
+  drain_mem ();
+  (* Call/spawn responses in wave order. *)
+  let rec drain_resp () =
+    match Hashtbl.find_opt n.nr_resp n.nr_next_resp with
+    | Some res ->
+      let outs =
+        List.filteri
+          (fun p _ -> p < Array.length n.nr_out)
+          (Array.to_list (Array.mapi (fun p v -> (p, v)) res))
+      in
+      if ports_have_space n outs then begin
+        Hashtbl.remove n.nr_resp n.nr_next_resp;
+        n.nr_next_resp <- n.nr_next_resp + 1;
+        emit_ports n outs;
+        progressed := true;
+        drain_resp ()
+      end
+    | None -> ()
+  in
+  drain_resp ();
+  (* Sync completions, in order.  A sync of wave [w] may only
+     complete once every spawn of the task has issued wave [w]'s
+     spawns — otherwise it could observe a transiently-zero child
+     count before the children were even created. *)
+  let spawns_issued wave =
+    Array.for_all
+      (fun (s : node_rt) ->
+        match s.nr.kind with
+        | G.SpawnChild _ -> s.nr_fired > wave
+        | _ -> true)
+      inst.inodes
+  in
+  let rec drain_sync () =
+    if not (Queue.is_empty n.nr_sync) then begin
+      let inv, wave = Queue.peek n.nr_sync in
+      if spawns_issued wave
+         && inv.iv_eff_ctx.live_children = 0
+         && ports_have_space n [ (0, T.VBool true) ]
+      then begin
+        ignore (Queue.pop n.nr_sync);
+        emit_ports n [ (0, T.VBool true) ];
+        progressed := true;
+        drain_sync ()
+      end
+    end
+  in
+  drain_sync ();
+  !progressed
+
+(* ------------------------------------------------------------------ *)
+(* The main loop                                                        *)
+
+let step (sim : t) : unit =
+  let now = sim.now in
+  (* 1. memory structures *)
+  Memsys.step sim.ms ~now;
+  (* 2. junction arbitration per instance *)
+  Array.iter
+    (fun trt ->
+      List.iter
+        (fun inst ->
+          let w = sim.junction_width.(trt.tk.tid) in
+          for _ = 1 to w do
+            if not (Queue.is_empty inst.junction) then begin
+              let space, sr = Queue.pop inst.junction in
+              let rt = sim.ms.space_of space in
+              Memsys.enqueue sim.ms rt sr;
+              sim.last_activity <- now
+            end
+          done)
+        trt.tinstances)
+    sim.tasks;
+  (* 3. fire phase *)
+  Array.iter
+    (fun trt ->
+      let task_fired = ref false in
+      if trt.tdynamic then begin
+        (* At most [tiles] contexts issue datapath work per cycle. *)
+        let slots = ref trt.tk.tiles in
+        List.iter
+          (fun inst ->
+            if !slots > 0 && inst.live then begin
+              let fired_any = ref false in
+              Array.iter
+                (fun n ->
+                  if try_fire sim trt inst n then begin
+                    fired_any := true;
+                    sim.fires <- sim.fires + 1;
+                    sim.last_activity <- now
+                  end)
+                inst.inodes;
+              if !fired_any then begin
+                decr slots;
+                task_fired := true
+              end
+            end)
+          trt.tinstances
+      end
+      else
+        List.iter
+          (fun inst ->
+            Array.iter
+              (fun n ->
+                if try_fire sim trt inst n then begin
+                  task_fired := true;
+                  sim.fires <- sim.fires + 1;
+                  sim.last_activity <- now
+                end)
+              inst.inodes)
+          trt.tinstances;
+      if !task_fired then trt.tbusy <- trt.tbusy + 1)
+    sim.tasks;
+  (* 4. emission phase *)
+  Array.iter
+    (fun trt ->
+      List.iter
+        (fun inst ->
+          Array.iter
+            (fun n -> if try_emit sim inst n then sim.last_activity <- now)
+            inst.inodes)
+        trt.tinstances)
+    sim.tasks;
+  (* 5. completions *)
+  Array.iter
+    (fun trt ->
+      List.iter (fun inst -> try_complete sim trt inst) trt.tinstances)
+    sim.tasks;
+  (* 6. dispatch *)
+  Array.iter
+    (fun trt ->
+      if trt.tdynamic then
+        (* every queued message becomes a fresh context *)
+        while not (Queue.is_empty trt.tqueue) do
+          let m = Queue.pop trt.tqueue in
+          let inst = new_instance sim trt.tk ~dynamic:true in
+          (* LIFO: newest contexts first, so recursion runs depth-first *)
+          trt.tinstances <- inst :: trt.tinstances;
+          inject sim trt inst m
+        done
+      else begin
+        (* Round-robin dispatch across tiles: a pipelined instance
+           would otherwise accept every invocation and starve its
+           replicas. *)
+        let insts = Array.of_list trt.tinstances in
+        let n = Array.length insts in
+        if n > 0 then
+          for k = 0 to n - 1 do
+            let inst = insts.((trt.trr + k) mod n) in
+            if (not (Queue.is_empty trt.tqueue)) && can_accept inst then begin
+              inject sim trt inst (Queue.pop trt.tqueue);
+              trt.trr <- (trt.trr + k + 1) mod n
+            end
+          done
+      end)
+    sim.tasks;
+  (* 7. commit channel writes *)
+  Array.iter
+    (fun trt ->
+      List.iter
+        (fun inst -> Array.iter fifo_commit inst.ififos)
+        trt.tinstances)
+    sim.tasks;
+  sim.now <- now + 1
+
+(** Pre-load cycles for DMA into scratchpads (8 words per cycle). *)
+let dma_cycles (c : G.circuit) : int =
+  let scratch_words =
+    List.fold_left
+      (fun acc (g : Muir_ir.Program.global) ->
+        match List.assoc_opt g.gspace c.space_map with
+        | Some sid -> (
+          match (G.structure c sid).shape with
+          | G.Scratchpad _ -> acc + g.gsize
+          | G.Cache _ -> acc)
+        | None -> acc)
+      0 c.prog.globals
+  in
+  (scratch_words + 7) / 8
+
+let diagnose (sim : t) : string =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun trt ->
+      Buffer.add_string buf
+        (Fmt.str "task %s: %d queued, %d invocations, %d instances@."
+           trt.tk.tname (Queue.length trt.tqueue) trt.tinvocations
+           (List.length trt.tinstances));
+      List.iter
+        (fun inst ->
+          if inst.inflight <> [] then begin
+            Buffer.add_string buf
+              (Fmt.str "task %s#%d: %d inflight, waves %a@." trt.tk.tname
+                 inst.iid
+                 (List.length inst.inflight)
+                 Fmt.(Dump.list int)
+                 (List.map fst inst.inflight));
+            Array.iter
+              (fun (n : node_rt) ->
+                let in_state =
+                  Array.to_list
+                    (Array.map
+                       (function
+                         | None -> "imm"
+                         | Some f -> string_of_int (Queue.length f.fq))
+                       n.nr_in)
+                in
+                let out_state =
+                  Array.to_list
+                    (Array.map
+                       (fun fs ->
+                         String.concat "/"
+                           (List.map
+                              (fun (f : fifo) ->
+                                Fmt.str "%d(%d)" (Queue.length f.fq) f.cap)
+                              fs))
+                       n.nr_out)
+                in
+                let resp_waves =
+                  Hashtbl.fold (fun w _ acc -> w :: acc) n.nr_resp []
+                  |> List.sort compare
+                in
+                Buffer.add_string buf
+                  (Fmt.str
+                     "  n%d %s fired=%d pipe=%d mem=%d resp=%a next=%d sync=%d in=[%s] out=[%s]@."
+                     n.nr.nid
+                     (Muir_core.Graph.kind_to_string n.nr.kind)
+                     n.nr_fired (Queue.length n.nr_pipe)
+                     (Queue.length n.nr_mem)
+                     Fmt.(Dump.list int) resp_waves
+                     n.nr_next_resp
+                     (Queue.length n.nr_sync)
+                     (String.concat ";" in_state)
+                     (String.concat ";" out_state)))
+              inst.inodes
+          end)
+        trt.tinstances)
+    sim.tasks;
+  Buffer.contents buf
+
+(** Run the circuit's root task with [args] to completion.  Returns
+    the root's return value, the final memory, and statistics. *)
+let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
+    (c : G.circuit) : result =
+  let sim = create c in
+  let root = sim.tasks.(c.root) in
+  let ctx = { live_children = 0 } in
+  Queue.add
+    { m_args = Array.of_list (T.VBool true :: args); m_ctx = ctx;
+      m_reply = Rroot }
+    root.tqueue;
+  while sim.root_result = None && sim.now < max_cycles do
+    if sim.now - sim.last_activity > deadlock_window then
+      raise
+        (Deadlock
+           (Fmt.str "no progress for %d cycles at cycle %d:@.%s"
+              deadlock_window sim.now (diagnose sim)));
+    step sim
+  done;
+  (match sim.root_result with
+  | None -> raise (Cycle_limit max_cycles)
+  | Some _ -> ());
+  let res = Option.get sim.root_result in
+  let value = if Array.length res > 1 then res.(1) else T.VBool true in
+  let dma = dma_cycles c in
+  { value;
+    memory = sim.ms.mem;
+    stats =
+      { cycles = sim.now; dma_cycles = dma; total_cycles = sim.now + dma;
+        fires = sim.fires;
+        invocations =
+          Array.to_list
+            (Array.map (fun trt -> (trt.tk.tname, trt.tinvocations)) sim.tasks);
+        utilization =
+          Array.to_list
+            (Array.map
+               (fun trt ->
+                 ( trt.tk.tname,
+                   if sim.now = 0 then 0.0
+                   else float_of_int trt.tbusy /. float_of_int sim.now ))
+               sim.tasks);
+        mem = Memsys.stats sim.ms;
+        mem_requests = sim.ms.total_requests } }

@@ -1,0 +1,1 @@
+lib/workloads/data.ml: Array Float Int64 List Muir_ir

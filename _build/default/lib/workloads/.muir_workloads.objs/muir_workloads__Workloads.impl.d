@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Data Fmt List Muir_frontend Muir_ir

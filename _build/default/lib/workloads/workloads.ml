@@ -1,0 +1,787 @@
+(** The benchmark programs of the paper's evaluation (§5–§6):
+    Polybench/Machsuite loop nests, the Cilk task-parallel set, the
+    Tensorflow-derived layers, and the in-house tensor kernels — all
+    written in the mini-language, with deterministic datasets and the
+    list of output arrays used for golden checking. *)
+
+open Muir_ir.Types
+
+type category = Poly | Cilk | Tf | Inhouse
+
+let category_to_string = function
+  | Poly -> "Polybench/Machsuite"
+  | Cilk -> "Cilk"
+  | Tf -> "Tensorflow"
+  | Inhouse -> "In-house"
+
+type t = {
+  wname : string;
+  category : category;
+  fp : bool;          (** floating-point workload (Table 2's F marker) *)
+  tensor : bool;      (** tensor-intrinsic workload ([T] marker) *)
+  source : string;
+  inits : (string * value array) list;
+  outputs : string list;
+  description : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Polybench / Machsuite                                               *)
+
+let gemm_n = 16
+
+let gemm =
+  { wname = "gemm";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "dense matrix multiply C = A*B";
+    source =
+      Fmt.str
+        {|
+global float A[%d]; global float B[%d]; global float C[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) {
+        acc = acc + A[i*%d+k] * B[k*%d+j];
+      }
+      C[i*%d+j] = acc;
+    }
+  }
+}|}
+        (gemm_n * gemm_n) (gemm_n * gemm_n) (gemm_n * gemm_n) gemm_n gemm_n
+        gemm_n gemm_n gemm_n gemm_n;
+    inits =
+      [ ("A", Data.floats ~seed:11 (gemm_n * gemm_n));
+        ("B", Data.floats ~seed:12 (gemm_n * gemm_n)) ];
+    outputs = [ "C" ] }
+
+let covar_n = 12 (* samples *)
+let covar_m = 12 (* variables *)
+
+let covar =
+  { wname = "covar";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "covariance matrix (mean subtraction + symmetric product)";
+    source =
+      Fmt.str
+        {|
+global float DATA[%d]; global float MEAN[%d]; global float COV[%d];
+func void main() {
+  for (int j = 0; j < %d; j = j + 1) {
+    float s = 0.0;
+    for (int i = 0; i < %d; i = i + 1) { s = s + DATA[i*%d+j]; }
+    MEAN[j] = s / %d.0;
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      DATA[i*%d+j] = DATA[i*%d+j] - MEAN[j];
+    }
+  }
+  for (int j1 = 0; j1 < %d; j1 = j1 + 1) {
+    for (int j2 = j1; j2 < %d; j2 = j2 + 1) {
+      float s = 0.0;
+      for (int i = 0; i < %d; i = i + 1) {
+        s = s + DATA[i*%d+j1] * DATA[i*%d+j2];
+      }
+      float c = s / %d.0;
+      COV[j1*%d+j2] = c;
+      COV[j2*%d+j1] = c;
+    }
+  }
+}|}
+        (covar_n * covar_m) covar_m (covar_m * covar_m) covar_m covar_n
+        covar_m covar_n covar_n covar_m covar_m covar_m covar_m covar_m
+        covar_n covar_m covar_m (covar_n - 1) covar_m covar_m;
+    inits = [ ("DATA", Data.floats ~seed:21 (covar_n * covar_m)) ];
+    outputs = [ "MEAN"; "COV" ] }
+
+let fft_n = 64
+let fft_stages = 6
+
+let fft =
+  let wlr, wli = Data.twiddle_steps fft_n in
+  { wname = "fft";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "iterative radix-2 FFT (in place, bit-reversed input)";
+    source =
+      Fmt.str
+        {|
+global float RE[%d]; global float IM[%d];
+global float TRE[%d]; global float TIM[%d];
+global int REV[%d];
+global float WLR[%d]; global float WLI[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    TRE[i] = RE[REV[i]];
+    TIM[i] = IM[REV[i]];
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    RE[i] = TRE[i];
+    IM[i] = TIM[i];
+  }
+  for (int s = 0; s < %d; s = s + 1) {
+    int len = 1 << (s + 1);
+    int half = len / 2;
+    for (int st = 0; st < %d; st = st + len) {
+      float wr = 1.0;
+      float wi = 0.0;
+      for (int j = 0; j < half; j = j + 1) {
+        int a = st + j;
+        int b = a + half;
+        float ur = RE[a]; float ui = IM[a];
+        float vr = RE[b] * wr - IM[b] * wi;
+        float vi = RE[b] * wi + IM[b] * wr;
+        RE[a] = ur + vr; IM[a] = ui + vi;
+        RE[b] = ur - vr; IM[b] = ui - vi;
+        float nwr = wr * WLR[s] - wi * WLI[s];
+        wi = wr * WLI[s] + wi * WLR[s];
+        wr = nwr;
+      }
+    }
+  }
+}|}
+        fft_n fft_n fft_n fft_n fft_n fft_stages fft_stages fft_n fft_n
+        fft_stages fft_n;
+    inits =
+      [ ("RE", Data.floats ~seed:31 fft_n);
+        ("IM", Data.floats ~seed:32 fft_n);
+        ("REV", Data.bitrev_table fft_n);
+        ("WLR", wlr); ("WLI", wli) ];
+    outputs = [ "RE"; "IM" ] }
+
+(** Double-buffered FFT: identical math to {!fft}, but each stage
+    reads one buffer and writes the other.  The in-place version's
+    same-array load/store pattern forces the conservative memory-order
+    chains to serialize every butterfly; ping-pong buffering is how a
+    hardware designer would actually structure it (and the paper's
+    FFT presumably did). *)
+let fft_buf =
+  let wr, wi = Data.twiddle_table fft_n in
+  let stage_fn name src dst =
+    Fmt.str
+      {|
+func void %s(int s) {
+  int len = 1 << (s + 1);
+  int half = len / 2;
+  int stride = %d / len;
+  for (int j = 0; j < half; j = j + 1) {
+    float wr = WR[j * stride];
+    float wi = WI[j * stride];
+    for (int st = 0; st < %d; st = st + len) {
+      int a = st + j;
+      int b = a + half;
+      float ur = %sR[a]; float ui = %sI[a];
+      float xr = %sR[b]; float xi = %sI[b];
+      float vr = xr * wr - xi * wi;
+      float vi = xr * wi + xi * wr;
+      %sR[a] = ur + vr; %sI[a] = ui + vi;
+      %sR[b] = ur - vr; %sI[b] = ui - vi;
+    }
+  }
+}|}
+      name fft_n fft_n src src src src dst dst dst dst
+  in
+  { wname = "fft-buf";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "radix-2 FFT with ping-pong stage buffers + twiddle ROM";
+    source =
+      Fmt.str
+        {|
+global float AR[%d]; global float AI[%d];
+global float BR[%d]; global float BI[%d];
+global int REV[%d];
+global float WR[%d]; global float WI[%d];
+%s
+%s
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    BR[i] = AR[REV[i]];
+    BI[i] = AI[REV[i]];
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    AR[i] = BR[i];
+    AI[i] = BI[i];
+  }
+  for (int s = 0; s < %d; s = s + 1) {
+    if (s %% 2 == 0) { stage_ab(s); } else { stage_ba(s); }
+  }
+}|}
+        fft_n fft_n fft_n fft_n fft_n (fft_n / 2) (fft_n / 2)
+        (stage_fn "stage_ab" "A" "B")
+        (stage_fn "stage_ba" "B" "A")
+        fft_n fft_n fft_stages;
+    inits =
+      [ ("AR", Data.floats ~seed:31 fft_n);
+        ("AI", Data.floats ~seed:32 fft_n);
+        ("REV", Data.bitrev_table fft_n);
+        ("WR", wr); ("WI", wi) ];
+    (* after 6 stages (even count) the result lands back in AR/AI *)
+    outputs = [ "AR"; "AI" ] }
+
+let spmv_rows = 64
+let spmv_nnz = 4
+
+let spmv =
+  let rowptr, colidx, vals =
+    Data.csr ~rows:spmv_rows ~cols:spmv_rows ~nnz_per_row:spmv_nnz ()
+  in
+  { wname = "spmv";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "CSR sparse matrix-vector product";
+    source =
+      Fmt.str
+        {|
+global int ROWPTR[%d]; global int COLS[%d]; global float VALS[%d];
+global float X[%d]; global float Y[%d];
+func void main() {
+  for (int r = 0; r < %d; r = r + 1) {
+    float acc = 0.0;
+    for (int k = ROWPTR[r]; k < ROWPTR[r+1]; k = k + 1) {
+      acc = acc + VALS[k] * X[COLS[k]];
+    }
+    Y[r] = acc;
+  }
+}|}
+        (spmv_rows + 1) (spmv_rows * spmv_nnz) (spmv_rows * spmv_nnz)
+        spmv_rows spmv_rows spmv_rows;
+    inits =
+      [ ("ROWPTR", rowptr); ("COLS", colidx); ("VALS", vals);
+        ("X", Data.floats ~seed:41 spmv_rows) ];
+    outputs = [ "Y" ] }
+
+let mm2_n = 12
+
+let mm2 =
+  let n = mm2_n in
+  let nn = n * n in
+  { wname = "2mm";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "two chained matrix multiplies E = (A*B)*C";
+    source =
+      Fmt.str
+        {|
+global float A[%d]; global float B[%d]; global float C[%d];
+global float D[%d]; global float E[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) { acc = acc + A[i*%d+k] * B[k*%d+j]; }
+      D[i*%d+j] = acc;
+    }
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) { acc = acc + D[i*%d+k] * C[k*%d+j]; }
+      E[i*%d+j] = acc;
+    }
+  }
+}|}
+        nn nn nn nn nn n n n n n n n n n n n n;
+    inits =
+      [ ("A", Data.floats ~seed:51 nn); ("B", Data.floats ~seed:52 nn);
+        ("C", Data.floats ~seed:53 nn) ];
+    outputs = [ "D"; "E" ] }
+
+let mm3_n = 10
+
+let mm3 =
+  let n = mm3_n in
+  let nn = n * n in
+  { wname = "3mm";
+    category = Poly;
+    fp = true;
+    tensor = false;
+    description = "three matrix multiplies G = (A*B)*(C*D)";
+    source =
+      Fmt.str
+        {|
+global float A[%d]; global float B[%d]; global float C[%d]; global float D[%d];
+global float E[%d]; global float F[%d]; global float G[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) { acc = acc + A[i*%d+k] * B[k*%d+j]; }
+      E[i*%d+j] = acc;
+    }
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) { acc = acc + C[i*%d+k] * D[k*%d+j]; }
+      F[i*%d+j] = acc;
+    }
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < %d; k = k + 1) { acc = acc + E[i*%d+k] * F[k*%d+j]; }
+      G[i*%d+j] = acc;
+    }
+  }
+}|}
+        nn nn nn nn nn nn nn n n n n n n n n n n n n n n n n n n;
+    inits =
+      [ ("A", Data.floats ~seed:61 nn); ("B", Data.floats ~seed:62 nn);
+        ("C", Data.floats ~seed:63 nn); ("D", Data.floats ~seed:64 nn) ];
+    outputs = [ "G" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Cilk benchmarks                                                      *)
+
+let fib =
+  { wname = "fib";
+    category = Cilk;
+    fp = false;
+    tensor = false;
+    description = "recursive Cilk fib(15), pure task parallelism";
+    source =
+      {|
+global int OUT[1];
+func int fib(int n) {
+  if (n < 2) { return n; }
+  int a = spawn fib(n - 1);
+  int b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+func void main() {
+  int r = fib(15);
+  OUT[0] = r;
+}|};
+    inits = [];
+    outputs = [ "OUT" ] }
+
+let msort_n = 64
+
+let msort =
+  { wname = "msort";
+    category = Cilk;
+    fp = true;
+    tensor = false;
+    description = "recursive Cilk mergesort";
+    source =
+      Fmt.str
+        {|
+global float A[%d];
+global float TMP[%d];
+func void merge(int lo, int mid, int hi) {
+  int i = lo; int j = mid; int k = lo;
+  while (k < hi) {
+    bool takei = j >= hi || (i < mid && A[min(i, %d)] <= A[min(j, %d)]);
+    if (takei) { TMP[k] = A[i]; i = i + 1; }
+    else       { TMP[k] = A[j]; j = j + 1; }
+    k = k + 1;
+  }
+  for (int t = lo; t < hi; t = t + 1) { A[t] = TMP[t]; }
+}
+func void msort(int lo, int hi) {
+  if (hi - lo < 2) { return; }
+  int mid = (lo + hi) / 2;
+  spawn msort(lo, mid);
+  spawn msort(mid, hi);
+  sync;
+  merge(lo, mid, hi);
+}
+func void main() { msort(0, %d); }|}
+        msort_n msort_n (msort_n - 1) (msort_n - 1) msort_n;
+    inits = [ ("A", Data.floats ~seed:71 ~lo:0.0 ~hi:100.0 msort_n) ];
+    outputs = [ "A" ] }
+
+let saxpy_n = 512
+
+let saxpy =
+  { wname = "saxpy";
+    category = Cilk;
+    fp = true;
+    tensor = false;
+    description = "parallel_for y = a*x + y";
+    source =
+      Fmt.str
+        {|
+global float X[%d]; global float Y[%d];
+func void main() {
+  float a = 2.5;
+  parallel_for (int i = 0; i < %d; i = i + 1) {
+    Y[i] = a * X[i] + Y[i];
+  }
+  sync;
+}|}
+        saxpy_n saxpy_n saxpy_n;
+    inits =
+      [ ("X", Data.floats ~seed:81 saxpy_n);
+        ("Y", Data.floats ~seed:82 saxpy_n) ];
+    outputs = [ "Y" ] }
+
+let stencil_n = 16
+
+let stencil =
+  let n = stencil_n in
+  { wname = "stencil";
+    category = Cilk;
+    fp = true;
+    tensor = false;
+    description = "3x3 stencil, rows in parallel_for";
+    source =
+      Fmt.str
+        {|
+global float IN[%d]; global float OUT[%d]; global float K[9];
+func void main() {
+  parallel_for (int r = 1; r < %d; r = r + 1) {
+    for (int c = 1; c < %d; c = c + 1) {
+      float acc = 0.0;
+      for (int dy = 0; dy < 3; dy = dy + 1) {
+        for (int dx = 0; dx < 3; dx = dx + 1) {
+          acc = acc + K[dy*3+dx] * IN[(r+dy-1)*%d + (c+dx-1)];
+        }
+      }
+      OUT[r*%d+c] = acc;
+    }
+  }
+  sync;
+}|}
+        (n * n) (n * n) (n - 1) (n - 1) n n;
+    inits =
+      [ ("IN", Data.floats ~seed:91 (n * n));
+        ("K", Data.floats ~seed:92 9) ];
+    outputs = [ "OUT" ] }
+
+let img_in = 16
+let img_out = 24
+
+let img_scale =
+  { wname = "img-scale";
+    category = Cilk;
+    fp = true;
+    tensor = false;
+    description = "bilinear image upscale 16x16 -> 24x24, parallel rows";
+    source =
+      Fmt.str
+        {|
+global float IN[%d]; global float OUT[%d];
+func void main() {
+  parallel_for (int r = 0; r < %d; r = r + 1) {
+    float sy = float(r) * %f;
+    int y0 = min(int(sy), %d);
+    float fy = sy - float(y0);
+    int y1 = min(y0 + 1, %d);
+    for (int c = 0; c < %d; c = c + 1) {
+      float sx = float(c) * %f;
+      int x0 = min(int(sx), %d);
+      float fx = sx - float(x0);
+      int x1 = min(x0 + 1, %d);
+      float top = IN[y0*%d+x0] * (1.0 - fx) + IN[y0*%d+x1] * fx;
+      float bot = IN[y1*%d+x0] * (1.0 - fx) + IN[y1*%d+x1] * fx;
+      OUT[r*%d+c] = top * (1.0 - fy) + bot * fy;
+    }
+  }
+  sync;
+}|}
+        (img_in * img_in) (img_out * img_out) img_out
+        (float_of_int (img_in - 1) /. float_of_int img_out)
+        (img_in - 1) (img_in - 1) img_out
+        (float_of_int (img_in - 1) /. float_of_int img_out)
+        (img_in - 1) (img_in - 1) img_in img_in img_in img_in img_out;
+    inits = [ ("IN", Data.floats ~seed:101 ~lo:0.0 ~hi:255.0 (img_in * img_in)) ];
+    outputs = [ "OUT" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Tensorflow benchmarks                                                *)
+
+let conv_n = 14 (* output size for a 16x16 input, 3x3 valid conv *)
+
+let conv =
+  let inn = conv_n + 2 in
+  { wname = "conv";
+    category = Tf;
+    fp = true;
+    tensor = false;
+    description = "2D 3x3 valid convolution layer";
+    source =
+      Fmt.str
+        {|
+global float IN[%d]; global float K[9]; global float OUT[%d];
+func void main() {
+  for (int r = 0; r < %d; r = r + 1) {
+    for (int c = 0; c < %d; c = c + 1) {
+      float acc = 0.0;
+      for (int dy = 0; dy < 3; dy = dy + 1) {
+        for (int dx = 0; dx < 3; dx = dx + 1) {
+          acc = acc + K[dy*3+dx] * IN[(r+dy)*%d + c+dx];
+        }
+      }
+      OUT[r*%d+c] = acc;
+    }
+  }
+}|}
+        (inn * inn) (conv_n * conv_n) conv_n conv_n inn conv_n;
+    inits =
+      [ ("IN", Data.floats ~seed:111 (inn * inn));
+        ("K", Data.floats ~seed:112 9) ];
+    outputs = [ "OUT" ] }
+
+let dense ~units =
+  let batch = 8 and input = 16 in
+  { wname = Fmt.str "dense%d" units;
+    category = Tf;
+    fp = true;
+    tensor = false;
+    description = Fmt.str "dense layer with %d units + relu" units;
+    source =
+      Fmt.str
+        {|
+global float X[%d]; global float W[%d]; global float B[%d]; global float Y[%d];
+func void main() {
+  for (int b = 0; b < %d; b = b + 1) {
+    for (int o = 0; o < %d; o = o + 1) {
+      float acc = B[o];
+      for (int i = 0; i < %d; i = i + 1) {
+        acc = acc + W[o*%d+i] * X[b*%d+i];
+      }
+      Y[b*%d+o] = fmax(acc, 0.0);
+    }
+  }
+}|}
+        (batch * input) (units * input) units (batch * units) batch units
+        input input input units;
+    inits =
+      [ ("X", Data.floats ~seed:121 (batch * input));
+        ("W", Data.floats ~seed:122 (units * input));
+        ("B", Data.floats ~seed:123 units) ];
+    outputs = [ "Y" ] }
+
+let dense8 = dense ~units:8
+let dense16 = dense ~units:16
+
+let softmax ~classes =
+  let batch = 16 in
+  { wname = Fmt.str "softm%d" classes;
+    category = Tf;
+    fp = true;
+    tensor = false;
+    description = Fmt.str "numerically-stable softmax over %d classes" classes;
+    source =
+      Fmt.str
+        {|
+global float X[%d]; global float Y[%d];
+func void main() {
+  for (int b = 0; b < %d; b = b + 1) {
+    float m = X[b*%d];
+    for (int c = 1; c < %d; c = c + 1) { m = fmax(m, X[b*%d+c]); }
+    float s = 0.0;
+    for (int c = 0; c < %d; c = c + 1) {
+      float e = exp(X[b*%d+c] - m);
+      Y[b*%d+c] = e;
+      s = s + e;
+    }
+    for (int c = 0; c < %d; c = c + 1) {
+      Y[b*%d+c] = Y[b*%d+c] / s;
+    }
+  }
+}|}
+        (batch * classes) (batch * classes) batch classes classes classes
+        classes classes classes classes classes classes;
+    inits = [ ("X", Data.floats ~seed:131 ~lo:(-4.0) ~hi:4.0 (batch * classes)) ];
+    outputs = [ "Y" ] }
+
+let softm8 = softmax ~classes:8
+let softm16 = softmax ~classes:16
+
+(* ------------------------------------------------------------------ *)
+(* In-house tensor workloads ([T])                                      *)
+
+let relu_t_n = 16
+
+let relu_t =
+  let n = relu_t_n in
+  { wname = "relu[T]";
+    category = Inhouse;
+    fp = true;
+    tensor = true;
+    description = "tile-wise ReLU over a 16x16 activation map";
+    source =
+      Fmt.str
+        {|
+global float X[%d]; global float Y[%d];
+func void main() {
+  for (int ti = 0; ti < %d; ti = ti + 1) {
+    for (int tj = 0; tj < %d; tj = tj + 1) {
+      tstore(Y, ti*%d + tj*2, %d, trelu(tload(X, ti*%d + tj*2, %d)));
+    }
+  }
+}|}
+        (n * n) (n * n) (n / 2) (n / 2) (2 * n) n (2 * n) n;
+    inits = [ ("X", Data.floats ~seed:141 (n * n)) ];
+    outputs = [ "Y" ] }
+
+let mm2t_n = 8
+
+let mm2_t =
+  let n = mm2t_n in
+  let nn = n * n in
+  let nt = n / 2 in
+  { wname = "2mm[T]";
+    category = Inhouse;
+    fp = true;
+    tensor = true;
+    description = "chained tiled matrix multiplies with 2x2 tensor ops";
+    source =
+      Fmt.str
+        {|
+global float A[%d]; global float B[%d]; global float C[%d];
+global float D[%d]; global float E[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      tile acc = tmul(tload(A, i*%d, %d), tload(B, j*2, %d));
+      for (int k = 1; k < %d; k = k + 1) {
+        acc = tadd(acc, tmul(tload(A, i*%d + k*2, %d), tload(B, k*%d + j*2, %d)));
+      }
+      tstore(D, i*%d + j*2, %d, acc);
+    }
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      tile acc = tmul(tload(D, i*%d, %d), tload(C, j*2, %d));
+      for (int k = 1; k < %d; k = k + 1) {
+        acc = tadd(acc, tmul(tload(D, i*%d + k*2, %d), tload(C, k*%d + j*2, %d)));
+      }
+      tstore(E, i*%d + j*2, %d, acc);
+    }
+  }
+}|}
+        nn nn nn nn nn nt nt (2 * n) n n nt (2 * n) n (2 * n) n (2 * n) n nt
+        nt (2 * n) n n nt (2 * n) n (2 * n) n (2 * n) n;
+    inits =
+      [ ("A", Data.floats ~seed:151 nn); ("B", Data.floats ~seed:152 nn);
+        ("C", Data.floats ~seed:153 nn) ];
+    outputs = [ "D"; "E" ] }
+
+let convt_n = 8
+
+let conv_t =
+  let n = convt_n in
+  let inn = n + 2 in
+  let nt = n / 2 in
+  { wname = "conv[T]";
+    category = Inhouse;
+    fp = true;
+    tensor = true;
+    description = "block convolution mixing 2x2 tiles with tile kernels";
+    source =
+      Fmt.str
+        {|
+global float IN[%d]; global float KT[36]; global float OUT[%d];
+func void main() {
+  for (int ti = 0; ti < %d; ti = ti + 1) {
+    for (int tj = 0; tj < %d; tj = tj + 1) {
+      tile acc = tmul(tload(IN, ti*%d + tj*2, %d), tload(KT, 0, 2));
+      for (int t = 1; t < 9; t = t + 1) {
+        int dy = t / 3;
+        int dx = t %% 3;
+        acc = tadd(acc, tmul(tload(IN, (ti*2+dy)*%d + tj*2+dx, %d), tload(KT, t*4, 2)));
+      }
+      tstore(OUT, ti*%d + tj*2, %d, trelu(acc));
+    }
+  }
+}|}
+        (inn * inn) (n * n) nt nt (2 * inn) inn inn inn (2 * n) n;
+    inits =
+      [ ("IN", Data.floats ~seed:161 (inn * inn));
+        ("KT", Data.floats ~seed:162 36) ];
+    outputs = [ "OUT" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Extra workloads used by specific experiments                         *)
+
+let rgb_n = 128
+
+let rgb2yuv =
+  let n = rgb_n in
+  { wname = "rgb2yuv";
+    category = Inhouse;
+    fp = true;
+    tensor = false;
+    description = "pixel-wise RGB to YUV conversion (cache-banking study)";
+    source =
+      Fmt.str
+        {|
+global float R[%d]; global float G[%d]; global float B[%d];
+global float YY[%d]; global float U[%d]; global float V[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    float r = R[i]; float g = G[i]; float b = B[i];
+    YY[i] = 0.299 * r + 0.587 * g + 0.114 * b;
+    U[i] = 0.0 - 0.14713 * r - 0.28886 * g + 0.436 * b;
+    V[i] = 0.615 * r - 0.51499 * g - 0.10001 * b;
+  }
+}|}
+        n n n n n n n;
+    inits =
+      [ ("R", Data.floats ~seed:171 ~lo:0.0 ~hi:1.0 n);
+        ("G", Data.floats ~seed:172 ~lo:0.0 ~hi:1.0 n);
+        ("B", Data.floats ~seed:173 ~lo:0.0 ~hi:1.0 n) ];
+    outputs = [ "YY"; "U"; "V" ] }
+
+let conv1d_m = 128
+let conv1d_w = 8
+
+let conv1d =
+  { wname = "conv1d";
+    category = Inhouse;
+    fp = true;
+    tensor = false;
+    description = "the 1D convolution running example of Fig. 2";
+    source =
+      Fmt.str
+        {|
+global float INPUT[%d]; global float WEIGHT[%d]; global float OUTPUT[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    float acc = 0.0;
+    for (int j = 0; j < %d; j = j + 1) {
+      acc = acc + INPUT[i+j] * WEIGHT[j];
+    }
+    OUTPUT[i] = acc;
+  }
+}|}
+        conv1d_m conv1d_w (conv1d_m - conv1d_w) (conv1d_m - conv1d_w)
+        conv1d_w;
+    inits =
+      [ ("INPUT", Data.floats ~seed:181 conv1d_m);
+        ("WEIGHT", Data.floats ~seed:182 conv1d_w) ];
+    outputs = [ "OUTPUT" ] }
+
+(* ------------------------------------------------------------------ *)
+
+let all : t list =
+  [ gemm; covar; fft; fft_buf; spmv; mm2; mm3;
+    fib; msort; saxpy; stencil; img_scale;
+    conv; dense8; dense16; softm8; softm16;
+    relu_t; mm2_t; conv_t;
+    rgb2yuv; conv1d ]
+
+let find (name : string) : t =
+  match List.find_opt (fun w -> w.wname = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
+
+(** Compile a workload and attach its dataset. *)
+let program (w : t) : Muir_ir.Program.t =
+  let p = Muir_frontend.Frontend.compile w.source in
+  Muir_ir.Program.with_init p w.inits

@@ -1,0 +1,28 @@
+(** The benchmark programs of the paper's evaluation: Polybench /
+    Machsuite loop nests, the Cilk task-parallel set, Tensorflow-
+    derived layers, and the in-house tensor kernels — written in the
+    mini-language with deterministic datasets. *)
+
+type category = Poly | Cilk | Tf | Inhouse
+
+val category_to_string : category -> string
+
+type t = {
+  wname : string;
+  category : category;
+  fp : bool;          (** floating-point workload (Table 2's F marker) *)
+  tensor : bool;      (** tensor-intrinsic workload ([T] marker) *)
+  source : string;    (** mini-language program text *)
+  inits : (string * Muir_ir.Types.value array) list;
+  outputs : string list;  (** arrays checked against the golden model *)
+  description : string;
+}
+
+val all : t list
+(** Every bundled workload (22). *)
+
+val find : string -> t
+(** @raise Invalid_argument for unknown names *)
+
+val program : t -> Muir_ir.Program.t
+(** Compile the workload and attach its dataset. *)

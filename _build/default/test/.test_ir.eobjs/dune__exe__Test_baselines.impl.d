@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Float Fmt Hashtbl Interp List Muir_cpu Muir_frontend Muir_hls Muir_ir Muir_workloads

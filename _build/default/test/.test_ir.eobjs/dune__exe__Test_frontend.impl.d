@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Fmt Func Int64 Interp List Memory Muir_frontend Muir_ir Program QCheck QCheck_alcotest Types

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Dom Eval Func Int64 Interp List Loops Memory Muir_ir Program QCheck QCheck_alcotest Transform Types Verify

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Array Fmt List Muir_core Muir_frontend Muir_ir Muir_sim QCheck QCheck_alcotest

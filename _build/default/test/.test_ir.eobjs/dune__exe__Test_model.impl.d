@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Fmt List Muir_core Muir_frontend Muir_model Muir_opt Muir_rtl Muir_workloads QCheck QCheck_alcotest

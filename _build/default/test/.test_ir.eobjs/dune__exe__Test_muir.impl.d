@@ -1,0 +1,1 @@
+test/test_muir.ml: Alcotest Build Fmt Graph List Muir_core Muir_frontend Muir_ir QCheck QCheck_alcotest Validate

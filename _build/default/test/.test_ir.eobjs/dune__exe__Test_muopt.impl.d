@@ -1,0 +1,1 @@
+test/test_muopt.ml: Alcotest Array Fmt List Muir_core Muir_ir Muir_opt QCheck QCheck_alcotest Sim_harness

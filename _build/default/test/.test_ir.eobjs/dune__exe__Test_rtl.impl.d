@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Build Fmt Graph List Muir_core Muir_frontend Muir_opt Muir_rtl QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fmt List Muir_ir Muir_opt Muir_sim QCheck QCheck_alcotest Sim_harness

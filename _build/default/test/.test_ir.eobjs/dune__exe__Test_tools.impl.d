@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Fmt List Muir_core Muir_opt Muir_rtl Sim_harness String

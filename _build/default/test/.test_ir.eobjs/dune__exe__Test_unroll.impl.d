@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Array Fmt Func Interp List Memory Muir_ir Program QCheck QCheck_alcotest Sim_harness Types Unroll Verify

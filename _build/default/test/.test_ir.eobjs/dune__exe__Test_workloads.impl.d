@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Fmt Int64 Interp List Memory Muir_core Muir_ir Muir_opt Muir_sim Muir_workloads Types

@@ -1,0 +1,145 @@
+(* Tests for the comparison baselines: the ARM-A9 timing model and the
+   statically-scheduled HLS model. *)
+
+open Muir_ir
+module W = Muir_workloads.Workloads
+
+let saxpy =
+  {|
+global float X[64]; global float Y[64];
+func void main() {
+  for (int i = 0; i < 64; i = i + 1) { Y[i] = 2.0 * X[i] + Y[i]; }
+}|}
+
+let prog src = Muir_frontend.Frontend.compile src
+
+(* --- CPU model ----------------------------------------------------- *)
+
+let test_cpu_counts_instructions () =
+  let p = prog saxpy in
+  let r = Muir_cpu.Arm.run p in
+  let _, _, stats = Interp.run p in
+  Alcotest.(check int) "trace length = dynamic instructions"
+    stats.dyn_instrs r.cpu_instrs;
+  Alcotest.(check bool) "cycles at least instrs/issue-width" true
+    (r.cpu_cycles >= float_of_int r.cpu_instrs /. 2.0)
+
+let test_cpu_fp_costs_more () =
+  let int_src =
+    {|
+global int O[1];
+func void main() {
+  int s = 0;
+  for (int i = 0; i < 256; i = i + 1) { s = s + i; }
+  O[0] = s;
+}|}
+  in
+  let fp_src =
+    {|
+global float O[1];
+func void main() {
+  float s = 0.0;
+  for (int i = 0; i < 256; i = i + 1) { s = s + 1.5; }
+  O[0] = s;
+}|}
+  in
+  let ri = Muir_cpu.Arm.run (prog int_src) in
+  let rf = Muir_cpu.Arm.run (prog fp_src) in
+  Alcotest.(check bool)
+    (Fmt.str "fp loop slower (%.0f vs %.0f)" rf.cpu_cycles ri.cpu_cycles)
+    true
+    (rf.cpu_cycles > 1.5 *. ri.cpu_cycles)
+
+let test_cpu_cache_behaviour () =
+  (* Strided accesses over a large array should miss much more than a
+     unit-stride scan of the same footprint. *)
+  let mk stride =
+    Fmt.str
+      {|
+global float A[16384]; global float O[1];
+func void main() {
+  float s = 0.0;
+  for (int i = 0; i < 2048; i = i + 1) { s = s + A[(i * %d) %% 16384]; }
+  O[0] = s;
+}|}
+      stride
+  in
+  let unit = Muir_cpu.Arm.run (prog (mk 1)) in
+  let strided = Muir_cpu.Arm.run (prog (mk 9)) in
+  Alcotest.(check bool)
+    (Fmt.str "strided misses more (%d vs %d)" strided.cpu_l1_misses
+       unit.cpu_l1_misses)
+    true
+    (strided.cpu_l1_misses > 2 * unit.cpu_l1_misses)
+
+(* --- HLS model ----------------------------------------------------- *)
+
+let test_hls_runs_all_fig9_benches () =
+  List.iter
+    (fun name ->
+      let w = W.find name in
+      let r = Muir_hls.Hls.run (W.program w) in
+      Alcotest.(check bool)
+        (Fmt.str "%s has positive cycles" name)
+        true (r.hls_cycles > 0.0))
+    [ "gemm"; "covar"; "fft"; "spmv"; "2mm"; "3mm"; "conv"; "dense8";
+      "softm8" ]
+
+let test_hls_streaming_detection () =
+  let p = prog saxpy in
+  let sched = Muir_hls.Hls.analyze p in
+  (* exactly one innermost loop; streaming accesses should give it a
+     small initiation interval despite 3 memory ops *)
+  let iis = Hashtbl.fold (fun _ ii acc -> ii :: acc) sched.loop_ii [] in
+  match iis with
+  | [ ii ] ->
+    Alcotest.(check bool)
+      (Fmt.str "streaming II small (got %.1f)" ii)
+      true (ii <= 8.0)
+  | _ -> Alcotest.fail "expected a single innermost loop"
+
+let test_hls_indirection_is_slower () =
+  (* SPMV's X[COLS[k]] is not streaming: per-iteration cost must
+     exceed saxpy's *)
+  let spmv = W.find "spmv" in
+  let s1 = Muir_hls.Hls.analyze (W.program spmv) in
+  let s2 = Muir_hls.Hls.analyze (prog saxpy) in
+  let max_ii s = Hashtbl.fold (fun _ ii acc -> Float.max ii acc) s 0.0 in
+  Alcotest.(check bool) "indirect loop II larger" true
+    (max_ii s1.loop_ii > max_ii s2.loop_ii)
+
+let test_hls_nested_serialization () =
+  (* HLS charges the inner loop's fill on every outer iteration: gemm's
+     total must exceed inner-iterations x II. *)
+  let w = W.find "gemm" in
+  let p = W.program w in
+  let r = Muir_hls.Hls.run p in
+  let sched = Muir_hls.Hls.analyze p in
+  let inner_ii =
+    Hashtbl.fold (fun _ ii acc -> Float.max ii acc) sched.loop_ii 0.0
+  in
+  Alcotest.(check bool) "total exceeds pipelined-inner lower bound" true
+    (r.hls_cycles > 16.0 *. 16.0 *. 16.0 *. inner_ii)
+
+let test_hls_clock_ratio () =
+  let r = Muir_hls.Hls.run (prog saxpy) in
+  Alcotest.(check (float 0.01)) "20% clock deficit" 1.2 r.clock_ratio
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "cpu",
+        [ Alcotest.test_case "instruction accounting" `Quick
+            test_cpu_counts_instructions;
+          Alcotest.test_case "fp costs more" `Quick test_cpu_fp_costs_more;
+          Alcotest.test_case "cache behaviour" `Quick
+            test_cpu_cache_behaviour ] );
+      ( "hls",
+        [ Alcotest.test_case "runs fig9 benches" `Quick
+            test_hls_runs_all_fig9_benches;
+          Alcotest.test_case "streaming detection" `Quick
+            test_hls_streaming_detection;
+          Alcotest.test_case "indirection slower" `Quick
+            test_hls_indirection_is_slower;
+          Alcotest.test_case "nested serialization" `Quick
+            test_hls_nested_serialization;
+          Alcotest.test_case "clock ratio" `Quick test_hls_clock_ratio ] ) ]

@@ -1,0 +1,138 @@
+(* Tests for the synthesis models: the absolute numbers are estimates,
+   but bands, orderings and monotonicities must hold. *)
+
+module M = Muir_model.Model
+
+let design_of ?(passes = []) src =
+  let c = Muir_core.Build.circuit (Muir_frontend.Frontend.compile src) in
+  let _ = Muir_opt.Pass.run_all passes c in
+  Muir_rtl.Lower.design c
+
+let saxpy =
+  {|
+global float X[16]; global float Y[16];
+func void main() {
+  for (int i = 0; i < 16; i = i + 1) { Y[i] = 2.0 * X[i] + Y[i]; }
+}|}
+
+let test_fpga_bands () =
+  List.iter
+    (fun (w : Muir_workloads.Workloads.t) ->
+      let p = Muir_workloads.Workloads.program w in
+      let d = Muir_rtl.Lower.design (Muir_core.Build.circuit p) in
+      let f = M.fpga d in
+      Alcotest.(check bool)
+        (Fmt.str "%s MHz in band (got %.0f)" w.wname f.fr_mhz)
+        true
+        (f.fr_mhz >= 150.0 && f.fr_mhz <= 550.0);
+      Alcotest.(check bool)
+        (Fmt.str "%s power in band (got %.0f mW)" w.wname f.fr_mw)
+        true
+        (f.fr_mw >= 400.0 && f.fr_mw <= 2500.0);
+      Alcotest.(check bool) "has logic" true (f.fr_alms > 500))
+    [ Muir_workloads.Workloads.find "gemm";
+      Muir_workloads.Workloads.find "fib";
+      Muir_workloads.Workloads.find "relu[T]" ]
+
+let test_asic_bands () =
+  let d = design_of saxpy in
+  let a = M.asic d in
+  Alcotest.(check bool)
+    (Fmt.str "GHz band (got %.2f)" a.ar_ghz)
+    true
+    (a.ar_ghz >= 1.0 && a.ar_ghz <= 2.5);
+  Alcotest.(check bool)
+    (Fmt.str "area band (got %.1f kum2)" a.ar_area)
+    true
+    (a.ar_area > 5.0 && a.ar_area < 500.0);
+  Alcotest.(check bool) "ASIC power well below FPGA power" true
+    (a.ar_mw < (M.fpga d).fr_mw /. 3.0)
+
+let test_tiling_costs_area () =
+  let d1 = design_of saxpy in
+  let d2 =
+    design_of
+      ~passes:[ Muir_opt.Structural.tiling_pass ~scope:`All_loops ~tiles:4 () ]
+      saxpy
+  in
+  let f1 = M.fpga d1 and f2 = M.fpga d2 in
+  Alcotest.(check bool)
+    (Fmt.str "4 tiles cost ALMs (%d -> %d)" f1.fr_alms f2.fr_alms)
+    true
+    (f2.fr_alms > 2 * f1.fr_alms);
+  Alcotest.(check bool) "and power" true (f2.fr_mw > f1.fr_mw)
+
+let test_banking_costs_brams () =
+  let d1 = design_of saxpy in
+  let d2 =
+    design_of
+      ~passes:
+        [ Muir_opt.Structural.localization_pass ();
+          Muir_opt.Structural.scratchpad_banking_pass ~banks:4 () ]
+      saxpy
+  in
+  Alcotest.(check bool) "banking adds SRAM macros" true
+    ((M.fpga d2).fr_brams > (M.fpga d1).fr_brams)
+
+let test_fusion_frequency_bounded () =
+  (* op fusion is delay-budgeted: the fused design may lose a little
+     clock, but never more than ~20%. *)
+  let d1 = design_of saxpy in
+  let d2 = design_of ~passes:[ Muir_opt.Fusion.pass ] saxpy in
+  let f1 = (M.fpga d1).fr_mhz and f2 = (M.fpga d2).fr_mhz in
+  Alcotest.(check bool)
+    (Fmt.str "clock within 20%% (%.0f -> %.0f)" f1 f2)
+    true
+    (f2 >= 0.8 *. f1)
+
+let test_dense_dsp_counts () =
+  (* strength reduction keeps constant-stride address math off the
+     multipliers: gemm should cost ~1 DSP for its fmul *)
+  let w = Muir_workloads.Workloads.find "gemm" in
+  let d =
+    Muir_rtl.Lower.design
+      (Muir_core.Build.circuit (Muir_workloads.Workloads.program w))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "gemm DSP count small (got %d)" (M.fpga d).fr_dsps)
+    true
+    ((M.fpga d).fr_dsps <= 8)
+
+let prop_area_monotone_in_tiles =
+  QCheck.Test.make ~count:6 ~name:"ALMs grow monotonically with tiles"
+    QCheck.(int_range 1 3)
+    (fun t ->
+      let a =
+        (M.fpga
+           (design_of
+              ~passes:
+                [ Muir_opt.Structural.tiling_pass ~scope:`All_loops ~tiles:t () ]
+              saxpy))
+          .fr_alms
+      in
+      let b =
+        (M.fpga
+           (design_of
+              ~passes:
+                [ Muir_opt.Structural.tiling_pass ~scope:`All_loops
+                    ~tiles:(t + 1) () ]
+              saxpy))
+          .fr_alms
+      in
+      b >= a)
+
+let () =
+  Alcotest.run "model"
+    [ ( "bands",
+        [ Alcotest.test_case "fpga" `Quick test_fpga_bands;
+          Alcotest.test_case "asic" `Quick test_asic_bands ] );
+      ( "orderings",
+        [ Alcotest.test_case "tiling costs area" `Quick
+            test_tiling_costs_area;
+          Alcotest.test_case "banking costs brams" `Quick
+            test_banking_costs_brams;
+          Alcotest.test_case "fusion frequency bounded" `Quick
+            test_fusion_frequency_bounded;
+          Alcotest.test_case "dsp counts" `Quick test_dense_dsp_counts ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_area_monotone_in_tiles ] ) ]

@@ -1,0 +1,211 @@
+(* Tests for the μIR core: graph construction (Algorithm 1),
+   structural validation, and the task/space queries passes rely on. *)
+
+open Muir_core
+module G = Graph
+
+let compile src = Muir_frontend.Frontend.compile src
+
+let saxpy_src =
+  {|
+global float X[8];
+global float Y[8];
+func void main() {
+  for (int i = 0; i < 8; i = i + 1) { Y[i] = 2.5 * X[i] + Y[i]; }
+}
+|}
+
+let nested_src =
+  {|
+global float A[16]; global float B[16]; global float C[16];
+func void main() {
+  for (int i = 0; i < 4; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < 4; k = k + 1) { acc = acc + A[i*4+k] * B[k*4+j]; }
+      C[i*4+j] = acc;
+    }
+  }
+}
+|}
+
+let cilk_src =
+  {|
+global float X[16]; global float Y[16];
+func void main() {
+  parallel_for (int i = 0; i < 16; i = i + 1) { Y[i] = X[i] + 1.0; }
+  sync;
+}
+|}
+
+let test_valid_circuits () =
+  List.iter
+    (fun src ->
+      let c = Build.circuit (compile src) in
+      Alcotest.(check (list string))
+        "no validation errors" []
+        (List.map (Fmt.str "%a" Validate.pp_error) (Validate.validate c)))
+    [ saxpy_src; nested_src; cilk_src ]
+
+let test_task_per_loop () =
+  let c = Build.circuit (compile nested_src) in
+  (* main + three loop tasks *)
+  Alcotest.(check int) "task count" 4 (List.length c.tasks);
+  let root = G.task c c.root in
+  Alcotest.(check string) "root is main" "main" root.tname;
+  (* The hierarchy is a chain main -> i -> j -> k. *)
+  let rec depth tid =
+    let t = G.task c tid in
+    match t.children with
+    | [] -> 1
+    | [ ch ] -> 1 + depth ch
+    | _ -> Alcotest.fail "unexpected fan-out in task tree"
+  in
+  Alcotest.(check int) "chain of four tasks" 4 (depth c.root)
+
+let test_parallel_loop_kind () =
+  let c = Build.circuit (compile cilk_src) in
+  let has_parallel =
+    List.exists
+      (fun (t : G.task) ->
+        match t.tkind with
+        | G.Tloop { parallel } -> parallel
+        | G.Tfunc -> false)
+      c.tasks
+  in
+  Alcotest.(check bool) "parallel loop task exists" true has_parallel;
+  (* The loop spawns the outlined body; the body is a function task. *)
+  let spawned =
+    List.exists
+      (fun (t : G.task) ->
+        List.exists
+          (fun (n : G.node) ->
+            match n.kind with G.SpawnChild _ -> true | _ -> false)
+          t.nodes)
+      c.tasks
+  in
+  Alcotest.(check bool) "spawn node generated" true spawned;
+  let synced =
+    List.exists
+      (fun (t : G.task) ->
+        List.exists (fun (n : G.node) -> n.kind = G.SyncWait) t.nodes)
+      c.tasks
+  in
+  Alcotest.(check bool) "sync node generated" true synced
+
+let test_memory_spaces () =
+  let c = Build.circuit (compile saxpy_src) in
+  let loop =
+    List.find
+      (fun (t : G.task) -> match t.tkind with G.Tloop _ -> true | _ -> false)
+      c.tasks
+  in
+  let spaces =
+    List.sort_uniq compare
+      (List.filter_map G.node_space (G.memory_nodes loop))
+  in
+  (* X and Y resolve to their own allocation sites, never space 0. *)
+  Alcotest.(check int) "two spaces" 2 (List.length spaces);
+  Alcotest.(check bool) "no unknown space" false (List.mem 0 spaces)
+
+let test_loop_ring_structure () =
+  let c = Build.circuit (compile saxpy_src) in
+  let loop =
+    List.find
+      (fun (t : G.task) -> match t.tkind with G.Tloop _ -> true | _ -> false)
+      c.tasks
+  in
+  let mus =
+    List.filter (fun (n : G.node) -> n.kind = G.MergeLoop) loop.nodes
+  in
+  (* token + induction variable *)
+  Alcotest.(check int) "two mu nodes" 2 (List.length mus);
+  (* every mu's ctl edge carries exactly one initial false *)
+  List.iter
+    (fun (mu : G.node) ->
+      let ctl =
+        List.find (fun (e : G.edge) -> e.dst = (mu.nid, 0)) loop.edges
+      in
+      Alcotest.(check bool) "ctl primed" true
+        (ctl.initial = [ Muir_ir.Types.VBool false ]))
+    mus;
+  (* steers route back into every mu *)
+  List.iter
+    (fun (mu : G.node) ->
+      let back =
+        List.find (fun (e : G.edge) -> e.dst = (mu.nid, 2)) loop.edges
+      in
+      let src = G.node loop (fst back.src) in
+      match src.kind with
+      | G.Steer | G.FusedSteer _ -> ()
+      | k ->
+        Alcotest.failf "mu back edge fed by %s" (G.kind_to_string k))
+    mus
+
+let test_validate_catches_broken () =
+  let c = Build.circuit (compile saxpy_src) in
+  let loop = List.nth c.tasks 1 in
+  (* remove an edge: some input becomes undriven *)
+  loop.edges <- List.tl loop.edges;
+  Alcotest.(check bool) "detects undriven port" true
+    (List.length (Validate.validate c) > 0)
+
+let test_graph_size () =
+  let c = Build.circuit (compile nested_src) in
+  let n, e = G.graph_size c in
+  Alcotest.(check bool) "nontrivial graph" true (n > 30 && e > 40)
+
+let test_structure_binding () =
+  let c = Build.circuit (compile saxpy_src) in
+  let s = G.structure_of_space c 1 in
+  (match s.shape with
+  | G.Cache _ -> ()
+  | G.Scratchpad _ -> Alcotest.fail "baseline should use the shared cache");
+  let sp =
+    G.add_structure c ~sname:"sp"
+      (G.Scratchpad { banks = 2; ports_per_bank = 1; latency = 1;
+                      width_words = 1; wb_buffer = false })
+  in
+  G.bind_space c 1 sp.sid;
+  let s' = G.structure_of_space c 1 in
+  Alcotest.(check string) "rebind works" "sp" s'.sname
+
+(* Property: circuits built from random small loop nests validate. *)
+let prop_random_programs_validate =
+  QCheck.Test.make ~count:30 ~name:"random loop nests build valid circuits"
+    QCheck.(pair (int_range 1 4) (int_range 2 6))
+    (fun (depth, trip) ->
+      let rec nest d =
+        if d = 0 then
+          Fmt.str "O[i0] = O[i0] + %d.0;" trip
+        else
+          Fmt.str "for (int i%d = 0; i%d < %d; i%d = i%d + 1) { %s }" d d trip
+            d d (nest (d - 1))
+      in
+      let src =
+        Fmt.str
+          "global float O[16];\nfunc void main() { for (int i0 = 0; i0 < 8; \
+           i0 = i0 + 1) { %s } }"
+          (nest depth)
+      in
+      let c = Build.circuit (compile src) in
+      Validate.validate c = [])
+
+let () =
+  Alcotest.run "muir"
+    [ ( "build",
+        [ Alcotest.test_case "valid circuits" `Quick test_valid_circuits;
+          Alcotest.test_case "task per loop" `Quick test_task_per_loop;
+          Alcotest.test_case "parallel loop kind" `Quick
+            test_parallel_loop_kind;
+          Alcotest.test_case "memory spaces" `Quick test_memory_spaces;
+          Alcotest.test_case "loop ring structure" `Quick
+            test_loop_ring_structure ] );
+      ( "validate",
+        [ Alcotest.test_case "catches broken graph" `Quick
+            test_validate_catches_broken;
+          Alcotest.test_case "graph size" `Quick test_graph_size;
+          Alcotest.test_case "structure binding" `Quick
+            test_structure_binding ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_programs_validate ] ) ]

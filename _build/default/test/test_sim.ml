@@ -1,0 +1,284 @@
+(* Simulator conformance tests: every circuit must reproduce the
+   golden interpreter's memory and return value, cycle counts must be
+   sane, and the memory system must keep its accounting straight. *)
+
+open Sim_harness
+
+let test_saxpy () =
+  let r =
+    check_against_golden "saxpy" ~globals:[ "Y" ]
+      ~inits:[ ("X", farr (List.init 8 float_of_int)) ]
+      {|
+global float X[8]; global float Y[8];
+func void main() {
+  for (int i = 0; i < 8; i = i + 1) { Y[i] = 2.5 * X[i] + Y[i]; }
+}|}
+  in
+  Alcotest.(check bool) "ran some cycles" true (r.stats.cycles > 10)
+
+let test_gemm () =
+  ignore
+    (check_against_golden "gemm" ~globals:[ "C" ]
+       ~inits:
+         [ ("A", farr (List.init 16 (fun i -> float_of_int (i mod 5))));
+           ("B", farr (List.init 16 (fun i -> float_of_int ((i mod 3) - 1))))
+         ]
+       {|
+global float A[16]; global float B[16]; global float C[16];
+func void main() {
+  for (int i = 0; i < 4; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < 4; k = k + 1) { acc = acc + A[i*4+k] * B[k*4+j]; }
+      C[i*4+j] = acc;
+    }
+  }
+}|})
+
+let test_parallel_for () =
+  ignore
+    (check_against_golden "parallel saxpy" ~globals:[ "Y" ]
+       ~inits:[ ("X", farr (List.init 32 float_of_int)) ]
+       {|
+global float X[32]; global float Y[32];
+func void main() {
+  float a = 3.0;
+  parallel_for (int i = 0; i < 32; i = i + 1) { Y[i] = a * X[i] + 1.0; }
+  sync;
+}|})
+
+let test_fib_recursion () =
+  let r =
+    check_against_golden "fib" ~globals:[]
+      {|
+func int fib(int n) {
+  if (n < 2) { return n; }
+  int a = spawn fib(n - 1);
+  int b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+func int main() { int r = fib(12); return r; }|}
+  in
+  Alcotest.check value_testable "fib(12)" (Muir_ir.Types.vint 144) r.value
+
+let test_mergesort_like () =
+  (* recursive spawn + a called merge loop: the dynamic-task path *)
+  ignore
+    (check_against_golden "msort" ~globals:[ "A" ]
+       ~inits:
+         [ ("A", farr [ 7.; 3.; 9.; 1.; 5.; 2.; 8.; 6. ]) ]
+       {|
+global float A[8];
+global float TMP[8];
+func void merge(int lo, int mid, int hi) {
+  int i = lo; int j = mid; int k = lo;
+  while (k < hi) {
+    bool takei = j >= hi || (i < mid && A[i] <= A[j]);
+    if (takei) { TMP[k] = A[i]; i = i + 1; }
+    else       { TMP[k] = A[j]; j = j + 1; }
+    k = k + 1;
+  }
+  for (int t = lo; t < hi; t = t + 1) { A[t] = TMP[t]; }
+}
+func void msort(int lo, int hi) {
+  if (hi - lo < 2) { return; }
+  int mid = (lo + hi) / 2;
+  spawn msort(lo, mid);
+  spawn msort(mid, hi);
+  sync;
+  merge(lo, mid, hi);
+}
+func void main() { msort(0, 8); }|})
+
+let test_predication () =
+  ignore
+    (check_against_golden "predication" ~globals:[ "O" ]
+       {|
+global int O[16];
+func void main() {
+  for (int i = 0; i < 16; i = i + 1) {
+    int v = 0;
+    if (i % 3 == 0) { v = i * 2; }
+    else { if (i % 3 == 1) { v = i + 50; } else { v = 7; } }
+    O[i] = v;
+  }
+}|})
+
+let test_tensor_ops () =
+  ignore
+    (check_against_golden "tiles" ~globals:[ "C" ]
+       ~inits:
+         [ ("A", farr (List.init 16 (fun i -> float_of_int (i + 1))));
+           ("B", farr (List.init 16 (fun i -> float_of_int ((i mod 4) + 1))))
+         ]
+       {|
+global float A[16]; global float B[16]; global float C[16];
+func void main() {
+  for (int ti = 0; ti < 2; ti = ti + 1) {
+    for (int tj = 0; tj < 2; tj = tj + 1) {
+      tile acc = tmul(tload(A, ti*8, 4), tload(B, tj*2, 4));
+      tile acc2 = tadd(acc, tmul(tload(A, ti*8+2, 4), tload(B, tj*2+8, 4)));
+      tstore(C, ti*8+tj*2, 4, acc2);
+    }
+  }
+}|})
+
+let test_memory_carried_dependence () =
+  (* O[0] accumulates across iterations through memory: the ordering
+     chain must serialize it. *)
+  ignore
+    (check_against_golden "memory accumulation" ~globals:[ "O" ]
+       ~inits:[ ("X", farr [ 1.; 2.; 3.; 4.; 5. ]) ]
+       {|
+global float X[5]; global float O[1];
+func void main() {
+  O[0] = 0.0;
+  for (int i = 0; i < 5; i = i + 1) { O[0] = O[0] + X[i]; }
+}|})
+
+let test_indirection () =
+  ignore
+    (check_against_golden "spmv" ~globals:[ "Y" ]
+       ~inits:
+         [ ("ROWPTR", iarr [ 0; 2; 4; 6; 8 ]);
+           ("COLS", iarr [ 0; 1; 1; 2; 2; 3; 0; 3 ]);
+           ("VALS", farr [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. ]);
+           ("X", farr [ 1.; 2.; 3.; 4. ]) ]
+       {|
+global int ROWPTR[5]; global int COLS[8]; global float VALS[8];
+global float X[4]; global float Y[4];
+func void main() {
+  for (int r = 0; r < 4; r = r + 1) {
+    float acc = 0.0;
+    for (int k = ROWPTR[r]; k < ROWPTR[r+1]; k = k + 1) {
+      acc = acc + VALS[k] * X[COLS[k]];
+    }
+    Y[r] = acc;
+  }
+}|})
+
+let test_cache_stats () =
+  let p =
+    program
+      ~inits:[ ("X", farr (List.init 64 float_of_int)) ]
+      {|
+global float X[64]; global float Y[64];
+func void main() {
+  for (int i = 0; i < 64; i = i + 1) { Y[i] = X[i] + 1.0; }
+}|}
+  in
+  let r = simulate p in
+  let l1 =
+    List.find (fun (s : Muir_sim.Memsys.struct_stats) -> s.ss_name = "l1")
+      r.stats.mem
+  in
+  (* 64 loads + 64 stores; 8-word lines: 16 cold lines, at most half
+     of which miss thanks to the next-line prefetcher. *)
+  Alcotest.(check int) "accesses" 128 l1.ss_accesses;
+  Alcotest.(check bool) "some cold misses" true (l1.ss_misses > 0);
+  Alcotest.(check bool) "prefetch hides most cold lines" true
+    (l1.ss_misses <= 8);
+  Alcotest.(check int) "hits + misses = accesses" 128
+    (l1.ss_hits + l1.ss_misses)
+
+let test_deadlock_detection () =
+  (* An empty-capacity circuit can't run; instead test the cycle cap on
+     a long loop. *)
+  let p =
+    program
+      {|
+func int main() {
+  int s = 0;
+  for (int i = 0; i < 100000; i = i + 1) { s = s + i; }
+  return s;
+}|}
+  in
+  match simulate ~max_cycles:500 p with
+  | exception Muir_sim.Sim.Cycle_limit _ -> ()
+  | _ -> Alcotest.fail "expected Cycle_limit"
+
+let test_dma_accounting () =
+  let p =
+    program ~inits:[ ("X", farr (List.init 64 float_of_int)) ]
+      {|
+global float X[64]; global float Y[64];
+func void main() {
+  for (int i = 0; i < 64; i = i + 1) { Y[i] = X[i] * 2.0; }
+}|}
+  in
+  let r =
+    simulate ~passes:[ Muir_opt.Structural.localization_pass () ] p
+  in
+  (* 128 scratchpad words at 8 words/cycle *)
+  Alcotest.(check int) "dma cycles" 16 r.stats.dma_cycles;
+  Alcotest.(check int) "total = cycles + dma" r.stats.total_cycles
+    (r.stats.cycles + r.stats.dma_cycles)
+
+(* Properties *)
+
+let prop_sim_matches_interp_random_saxpy =
+  QCheck.Test.make ~count:15 ~name:"sim == interp on random saxpy sizes"
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let src =
+        Fmt.str
+          {|
+global float X[%d]; global float Y[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) { Y[i] = 2.0 * X[i] + Y[i]; }
+}|}
+          n n n
+      in
+      let p =
+        program
+          ~inits:[ ("X", farr (List.init n (fun i -> float_of_int i *. 0.5))) ]
+          src
+      in
+      let _, gold, _ = golden p in
+      let r = simulate p in
+      let a = Muir_ir.Memory.dump_global gold p "Y" in
+      let b = Muir_ir.Memory.dump_global r.memory p "Y" in
+      Array.for_all2 Muir_ir.Types.value_close a b)
+
+let prop_fib_matches =
+  QCheck.Test.make ~count:8 ~name:"sim fib == closed form"
+    QCheck.(int_range 0 12)
+    (fun n ->
+      let src =
+        Fmt.str
+          {|
+func int fib(int n) {
+  if (n < 2) { return n; }
+  int a = spawn fib(n - 1);
+  int b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+func int main() { int r = fib(%d); return r; }|}
+          n
+      in
+      let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+      let r = simulate (program src) in
+      Muir_ir.Types.value_close r.value (Muir_ir.Types.vint (fib n)))
+
+let () =
+  Alcotest.run "sim"
+    [ ( "conformance",
+        [ Alcotest.test_case "saxpy" `Quick test_saxpy;
+          Alcotest.test_case "gemm" `Quick test_gemm;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "fib recursion" `Quick test_fib_recursion;
+          Alcotest.test_case "mergesort" `Quick test_mergesort_like;
+          Alcotest.test_case "predication" `Quick test_predication;
+          Alcotest.test_case "tensor ops" `Quick test_tensor_ops;
+          Alcotest.test_case "memory-carried dep" `Quick
+            test_memory_carried_dependence;
+          Alcotest.test_case "indirection" `Quick test_indirection ] );
+      ( "machinery",
+        [ Alcotest.test_case "cache stats" `Quick test_cache_stats;
+          Alcotest.test_case "cycle limit" `Quick test_deadlock_detection;
+          Alcotest.test_case "dma accounting" `Quick test_dma_accounting ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sim_matches_interp_random_saxpy; prop_fib_matches ] ) ]

@@ -1,0 +1,133 @@
+(* Tests for the tooling extensions: Graphviz export, write-back
+   buffers, and the simulator's utilization accounting. *)
+
+open Sim_harness
+module G = Muir_core.Graph
+
+let saxpy_src n =
+  Fmt.str
+    {|
+global float X[%d]; global float Y[%d];
+func void main() {
+  for (int i = 0; i < %d; i = i + 1) { Y[i] = 2.5 * X[i] + Y[i]; }
+}|}
+    n n n
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- dot ------------------------------------------------------------ *)
+
+let test_dot_render () =
+  let c = Muir_core.Build.circuit (program (saxpy_src 8)) in
+  let dot = Muir_core.Dot.render c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [ "digraph"; "cluster_task0"; "cluster_task1"; "mu"; "steer";
+      "shape=cylinder"; "primed"; "->" ];
+  (* balanced braces, roughly: same number of '{' and '}' *)
+  let count ch =
+    String.fold_left (fun a c -> if c = ch then a + 1 else a) 0 dot
+  in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let test_dot_marks_tiles () =
+  let c = Muir_core.Build.circuit (program (saxpy_src 8)) in
+  ignore (Muir_opt.Structural.execution_tiling c ~tiles:4 ~scope:`All_loops);
+  let dot = Muir_core.Dot.render c in
+  Alcotest.(check bool) "tile count rendered" true (contains dot "4 tiles")
+
+(* --- write-back buffers --------------------------------------------- *)
+
+let test_writeback_preserves_results () =
+  let inits = [ ("X", farr (List.init 32 float_of_int)) ] in
+  ignore
+    (check_against_golden
+       ~passes:
+         [ Muir_opt.Structural.localization_pass ();
+           Muir_opt.Structural.writeback_pass () ]
+       ~inits ~globals:[ "Y" ] "writeback saxpy" (saxpy_src 32))
+
+let test_writeback_marks_structures () =
+  let c = Muir_core.Build.circuit (program (saxpy_src 8)) in
+  ignore (Muir_opt.Structural.memory_localization c);
+  let r = Muir_opt.Structural.writeback_buffers c in
+  Alcotest.(check bool) "touched scratchpads" true (r.delta_nodes > 0);
+  List.iter
+    (fun (s : G.struct_inst) ->
+      match s.shape with
+      | G.Scratchpad { wb_buffer; _ } ->
+        Alcotest.(check bool) "buffered" true wb_buffer
+      | G.Cache _ -> ())
+    c.structures;
+  (* and it shows up in the emitted hardware *)
+  let src = Muir_rtl.Chisel.emit c in
+  Alcotest.(check bool) "chisel reflects it" true
+    (contains src "writebackBuffer = true")
+
+let test_writeback_not_slower () =
+  (* A loop that stores every iteration: buffering the stores should
+     never hurt. *)
+  let src =
+    {|
+global float X[64]; global float O[64];
+func void main() {
+  for (int i = 0; i < 64; i = i + 1) { O[i] = X[i] + 1.0; }
+}|}
+  in
+  let inits = [ ("X", farr (List.init 64 float_of_int)) ] in
+  let plain =
+    (check_against_golden
+       ~passes:[ Muir_opt.Structural.localization_pass () ]
+       ~inits ~globals:[ "O" ] "plain" src)
+      .stats.total_cycles
+  in
+  let buffered =
+    (check_against_golden
+       ~passes:
+         [ Muir_opt.Structural.localization_pass ();
+           Muir_opt.Structural.writeback_pass () ]
+       ~inits ~globals:[ "O" ] "buffered" src)
+      .stats.total_cycles
+  in
+  Alcotest.(check bool)
+    (Fmt.str "buffered not slower (%d vs %d)" buffered plain)
+    true
+    (buffered <= plain)
+
+(* --- utilization ----------------------------------------------------- *)
+
+let test_utilization_sane () =
+  let r =
+    check_against_golden
+      ~inits:[ ("X", farr (List.init 32 float_of_int)) ]
+      ~globals:[ "Y" ] "util" (saxpy_src 32)
+  in
+  List.iter
+    (fun (t, u) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s utilization in [0,1] (got %f)" t u)
+        true
+        (u >= 0.0 && u <= 1.0))
+    r.stats.utilization;
+  (* the hot loop is busier than the wrapper *)
+  let u name = List.assoc name r.stats.utilization in
+  Alcotest.(check bool) "loop busier than main" true
+    (u "main.loop1" > u "main")
+
+let () =
+  Alcotest.run "tools"
+    [ ( "dot",
+        [ Alcotest.test_case "render" `Quick test_dot_render;
+          Alcotest.test_case "tiles" `Quick test_dot_marks_tiles ] );
+      ( "writeback",
+        [ Alcotest.test_case "preserves results" `Quick
+            test_writeback_preserves_results;
+          Alcotest.test_case "marks structures" `Quick
+            test_writeback_marks_structures;
+          Alcotest.test_case "not slower" `Quick test_writeback_not_slower ] );
+      ( "utilization",
+        [ Alcotest.test_case "sane" `Quick test_utilization_sane ] ) ]

@@ -1,0 +1,156 @@
+(* Tests for behaviour-level loop unrolling (lib/ir/unroll.ml). *)
+
+open Muir_ir
+open Sim_harness
+
+let test_unrolls_counted_loop () =
+  let src =
+    {|
+global float X[8]; global float O[1];
+func void main() {
+  float acc = 0.0;
+  for (int i = 0; i < 8; i = i + 1) { acc = acc + X[i]; }
+  O[0] = acc;
+}|}
+  in
+  let p = program ~inits:[ ("X", farr (List.init 8 float_of_int)) ] src in
+  let n = Unroll.unroll p in
+  Alcotest.(check int) "one loop unrolled" 1 n;
+  Verify.check_exn p;
+  let f = Program.find_func p "main" in
+  Alcotest.(check (list int)) "no loops remain" []
+    (List.map (fun (l : Func.loop_info) -> l.header) f.loops);
+  let _, mem, _ = Interp.run p in
+  Alcotest.check value_testable "sum preserved" (Types.VFloat 28.0)
+    (Memory.dump_global mem p "O").(0)
+
+let test_respects_max_trip () =
+  let src =
+    {|
+global float O[1];
+func void main() {
+  float acc = 0.0;
+  for (int i = 0; i < 100; i = i + 1) { acc = acc + 1.0; }
+  O[0] = acc;
+}|}
+  in
+  let p = program src in
+  Alcotest.(check int) "trip 100 > max 16: untouched" 0 (Unroll.unroll p)
+
+let test_skips_dynamic_bounds () =
+  let src =
+    {|
+global float O[1];
+func float f(int n) {
+  float acc = 0.0;
+  for (int i = 0; i < n; i = i + 1) { acc = acc + 1.0; }
+  return acc;
+}
+func void main() { O[0] = f(5); }|}
+  in
+  let p = program src in
+  Alcotest.(check int) "dynamic bound: untouched" 0 (Unroll.unroll p)
+
+let test_skips_loops_with_calls () =
+  let src =
+    {|
+global float O[4];
+func void leaf(int i) { O[i] = 1.0; }
+func void main() {
+  for (int i = 0; i < 4; i = i + 1) { leaf(i); }
+}|}
+  in
+  let p = program src in
+  Alcotest.(check int) "call in body: untouched" 0 (Unroll.unroll p)
+
+let test_unrolled_inner_loop_of_nest () =
+  let src =
+    {|
+global float A[16]; global float O[4];
+func void main() {
+  for (int i = 0; i < 4; i = i + 1) {
+    float acc = 0.0;
+    for (int j = 0; j < 4; j = j + 1) { acc = acc + A[i*4+j]; }
+    O[i] = acc;
+  }
+}|}
+  in
+  let inits = [ ("A", farr (List.init 16 float_of_int)) ] in
+  let p = program ~inits src in
+  let _, gold, _ = golden p in
+  Alcotest.(check int) "inner loop unrolled" 1 (Unroll.unroll p);
+  Verify.check_exn p;
+  (* and the unrolled program still simulates correctly *)
+  let r = simulate p in
+  let a = Memory.dump_global gold p "O" in
+  let b = Memory.dump_global r.memory p "O" in
+  Array.iteri
+    (fun i x ->
+      Alcotest.check value_testable (Fmt.str "O[%d]" i) x b.(i))
+    a
+
+let test_unroll_improves_ilp () =
+  let src =
+    {|
+global float A[64]; global float O[16];
+func void main() {
+  for (int i = 0; i < 16; i = i + 1) {
+    float acc = 0.0;
+    for (int j = 0; j < 4; j = j + 1) { acc = acc + A[i*4+j]; }
+    O[i] = acc;
+  }
+}|}
+  in
+  let inits = [ ("A", farr (List.init 64 float_of_int)) ] in
+  let rolled = (simulate (program ~inits src)).stats.total_cycles in
+  let p = program ~inits src in
+  ignore (Unroll.unroll p);
+  let unrolled = (simulate p).stats.total_cycles in
+  Alcotest.(check bool)
+    (Fmt.str "unrolled is faster (%d -> %d)" rolled unrolled)
+    true (unrolled < rolled)
+
+(* Property: unrolling never changes results. *)
+let prop_unroll_preserves_semantics =
+  QCheck.Test.make ~count:25 ~name:"unroll preserves program results"
+    QCheck.(pair (int_range 1 12) (int_range 1 4))
+    (fun (trip, stride) ->
+      let src =
+        Fmt.str
+          {|
+global float X[64]; global float O[2];
+func void main() {
+  float acc = 0.0;
+  int last = 0;
+  for (int i = 0; i < %d; i = i + %d) {
+    acc = acc + X[i] * 2.0;
+    last = i;
+  }
+  O[0] = acc;
+  O[1] = float(last);
+}|}
+          trip stride
+      in
+      let inits = [ ("X", farr (List.init 64 (fun i -> float_of_int i *. 0.25))) ] in
+      let p0 = program ~inits src in
+      let _, m0, _ = golden p0 in
+      let p1 = program ~inits src in
+      ignore (Unroll.unroll p1);
+      let _, m1, _ = golden p1 in
+      let a = Memory.dump_global m0 p0 "O" in
+      let b = Memory.dump_global m1 p1 "O" in
+      Array.for_all2 Types.value_close a b)
+
+let () =
+  Alcotest.run "unroll"
+    [ ( "transform",
+        [ Alcotest.test_case "counted loop" `Quick test_unrolls_counted_loop;
+          Alcotest.test_case "max trip" `Quick test_respects_max_trip;
+          Alcotest.test_case "dynamic bounds" `Quick test_skips_dynamic_bounds;
+          Alcotest.test_case "calls in body" `Quick
+            test_skips_loops_with_calls;
+          Alcotest.test_case "inner loop of nest" `Quick
+            test_unrolled_inner_loop_of_nest;
+          Alcotest.test_case "improves ILP" `Quick test_unroll_improves_ilp ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_unroll_preserves_semantics ] ) ]
