@@ -449,9 +449,36 @@ let ablation () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Simulation-kernel observability: how fast the event-driven kernel    *)
+(* runs and how sparse its wake lists are                               *)
+
+let kernel () =
+  header
+    "Simulation kernel: wall-clock throughput and wake-list sparsity per \
+     workload";
+  Fmt.pr "%-10s %10s %8s %12s %10s %10s %8s@." "bench" "cycles" "wall-s"
+    "cycles/sec" "woken/cyc" "nodes/cyc" "sparsity";
+  List.iter
+    (fun (w : W.t) ->
+      let p = W.program w in
+      let c = Muir_core.Build.circuit ~name:w.wname p in
+      let r = Muir_sim.Sim.run c in
+      let s = r.Muir_sim.Sim.stats in
+      let sparsity =
+        if s.live_nodes_per_cycle > 0.0 then
+          s.woken_per_cycle /. s.live_nodes_per_cycle
+        else 0.0
+      in
+      Fmt.pr "%-10s %10d %8.3f %12.0f %10.1f %10.1f %7.1f%%@." w.wname
+        s.cycles s.wall_seconds s.cycles_per_sec s.woken_per_cycle
+        s.live_nodes_per_cycle (100.0 *. sparsity))
+    W.all
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks (one per table/figure kernel)    *)
 
 let bechamel () =
+  kernel ();
   header "Bechamel: wall-clock cost of each experiment's kernel";
   let open Bechamel in
   let small name passes =
@@ -527,6 +554,7 @@ let experiments : (string * (unit -> unit)) list =
     ("table4", table4);
     ("fig1", fig1);
     ("ablation", ablation);
+    ("kernel", kernel);
     ("bechamel", bechamel) ]
 
 let () =

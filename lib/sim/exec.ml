@@ -10,6 +10,22 @@ type token = T.value
 
 let poisoned args = List.exists T.is_poison args
 
+(** Control-token truth: predicates and steer selectors. *)
+let truthy (v : token) =
+  match v with
+  | T.VBool b -> b
+  | T.VInt i -> not (Int64.equal i 0L)
+  | _ -> false
+
+(** Address/stride tokens as machine integers (poison maps to 0; the
+    predicate gates such accesses off before they reach memory). *)
+let to_int (v : token) : int =
+  match v with
+  | T.VInt i -> Int64.to_int i
+  | T.VBool true -> 1
+  | T.VBool false -> 0
+  | _ -> 0
+
 (** Arity of a scalar opcode (operands actually consumed; any further
     inputs are ordering/trigger tokens whose values are ignored). *)
 let fu_arity : G.fu_op -> int = function

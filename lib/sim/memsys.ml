@@ -24,6 +24,9 @@ and access = {
   mutable a_pending : int;      (** sub-requests still in flight *)
   mutable a_done : bool;
   a_issued : int;               (** cycle of issue, for stats *)
+  mutable a_notify : unit -> unit;
+      (** called once when the access completes, so the issuing node
+          is woken instead of polled every cycle *)
 }
 
 type bank = {
@@ -49,7 +52,8 @@ type t = {
   mem : Muir_ir.Memory.t;
   structs : (G.struct_id * struct_rt) list;
   space_of : G.space_id -> struct_rt;
-  mutable completions : (int * access) list;  (** (ready cycle, access) *)
+  completions : (int, access list) Hashtbl.t;
+      (** ready cycle -> accesses due; drained as [now] reaches each key *)
   mutable total_requests : int;
 }
 
@@ -78,7 +82,8 @@ let create (c : G.circuit) (mem : Muir_ir.Memory.t) : t =
     let s = G.structure_of_space c sp in
     List.assoc s.sid structs
   in
-  { mem; structs; space_of; completions = []; total_requests = 0 }
+  { mem; structs; space_of; completions = Hashtbl.create 64;
+    total_requests = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Access construction (the databox, §3.4)                              *)
@@ -229,19 +234,30 @@ let step (ms : t) ~(now : int) : unit =
                     end
                 in
                 perform_words ms a sr;
-                ms.completions <- (now + lat, a) :: ms.completions
+                let ready = now + lat in
+                let prev =
+                  try Hashtbl.find ms.completions ready
+                  with Not_found -> []
+                in
+                Hashtbl.replace ms.completions ready (a :: prev)
               end
             done)
         rt.banks)
     ms.structs;
-  (* Deliver completions that are due. *)
-  let due, later = List.partition (fun (t, _) -> t <= now) ms.completions in
-  ms.completions <- later;
-  List.iter
-    (fun (_, a) ->
-      a.a_pending <- a.a_pending - 1;
-      if a.a_pending <= 0 then a.a_done <- true)
-    due
+  (* Deliver completions that are due.  [now] advances by one each
+     step, so draining the bucket at [now] is exact. *)
+  match Hashtbl.find_opt ms.completions now with
+  | None -> ()
+  | Some due ->
+    Hashtbl.remove ms.completions now;
+    List.iter
+      (fun a ->
+        a.a_pending <- a.a_pending - 1;
+        if a.a_pending <= 0 then begin
+          a.a_done <- true;
+          a.a_notify ()
+        end)
+      due
 
 (** Does this structure acknowledge stores from a write-back buffer? *)
 let store_buffered (rt : struct_rt) : bool =

@@ -19,6 +19,31 @@
       contexts may fire datapath operations in a cycle — the
       issue-queue + execution-tile structure of §3.6.
 
+    {2 The event-driven kernel}
+
+    [step] does not sweep every node of every instance.  Each node
+    carries [queued] flags and sits on a per-instance wake worklist;
+    it is attempted only when something that could enable it changed:
+    a token committed into an input channel, space freed in a
+    downstream channel, a pipeline/memory/reorder-buffer entry
+    matured, a child task's queue drained, a spawned child joined, or
+    an invocation was injected.  Nodes sleeping on latency
+    ([nr_busy_until], pipeline emit times, bank round trips) wake from
+    a timed table keyed by absolute cycle.  Completion checks and
+    junction arbitration likewise run only on instances whose state
+    moved, and only channels with staged writes are committed.
+
+    The wake discipline is {e conservative}: over-waking a node is
+    always safe (a failed attempt has no side effects), under-waking
+    never happens (every condition a blocked node waits on has a wake
+    source).  Within a cycle the woken nodes are drained in the same
+    deterministic order the dense sweep used — tasks in id order,
+    instances in queue order, nodes in graph order — so the kernel is
+    bit-for-bit cycle-accurate against the dense reference:
+    [total_cycles], [fires] and all utilization stats are unchanged on
+    every workload (enforced by the golden constants in
+    [test/test_sim.ml]).
+
     Functional results are written to the same flat memory the golden
     interpreter uses, so every simulation is checkable end to end. *)
 
@@ -30,27 +55,35 @@ module E = Muir_ir.Eval
 
 type token = T.value
 
-(* ------------------------------------------------------------------ *)
-(* Channels                                                             *)
-
-type fifo = {
-  fq : token Queue.t;
-  mutable staged : token list;
-  cap : int;
-}
-
-let fifo_space (f : fifo) = Queue.length f.fq + List.length f.staged < f.cap
-let fifo_push (f : fifo) (v : token) = f.staged <- f.staged @ [ v ]
-let fifo_commit (f : fifo) =
-  List.iter (fun v -> Queue.add v f.fq) f.staged;
-  f.staged <- []
+let truthy = Exec.truthy
+let to_int = Exec.to_int
 
 (* ------------------------------------------------------------------ *)
 (* Runtime structures                                                   *)
 
-type sync_ctx = { mutable live_children : int }
+(* Channels carry committed tokens in [fq]; writes land in [staged]
+   and become visible at the end-of-cycle commit.  The back-pointers
+   drive the wake lists: a commit wakes the consumer ([f_dst]) for
+   fire, a pop wakes the producer ([f_src]) for emission. *)
+type fifo = {
+  fq : token Queue.t;
+  staged : token Queue.t;
+  cap : int;
+  mutable f_dirty : bool;              (** queued on the commit list *)
+  mutable f_src : (instance * node_rt) option;
+  mutable f_dst : (instance * node_rt) option;
+}
 
-type reply =
+and sync_ctx = {
+  mutable live_children : int;
+  mutable cx_owner : instance option;
+      (** instance whose invocation owns this context: re-checked for
+          completion when a child joins *)
+  mutable cx_waiters : (instance * node_rt) list;
+      (** SyncWait nodes parked on this context *)
+}
+
+and reply =
   | Rroot
   | Rcall of { r_inst : instance; r_node : int; r_wave : int }
   | Rspawn of {
@@ -79,6 +112,7 @@ and mem_entry = {
 and node_rt = {
   nr : G.node;
   nr_cost : Cost.t;
+  mutable nr_idx : int;           (** position in [inodes] (drain order) *)
   nr_in : fifo option array;      (** [None] = immediate slot *)
   nr_imm : token array;           (** immediate values (valid when in=None) *)
   nr_out : fifo list array;       (** per out port: fan-out channels *)
@@ -91,16 +125,24 @@ and node_rt = {
   mutable nr_next_resp : int;
   nr_sync : (invocation * int) Queue.t;
       (** pending sync waits: (invocation, wave) *)
+  mutable nr_qfire : bool;        (** on the instance's fire worklist *)
+  mutable nr_qemit : bool;        (** on the instance's emit worklist *)
+  mutable nr_wait_child : bool;   (** parked on a full child task queue *)
 }
 
 and instance = {
   it : G.task;
   iid : int;
+  mutable i_ord : int;            (** drain order within the task: the
+                                      list order of [tinstances] is
+                                      ascending [i_ord] *)
   inodes : node_rt array;
   inode_by_id : node_rt option array;  (** node id -> runtime (ids are
                                            sparse after fusion) *)
   ififos : fifo array;            (** indexed by edge id *)
-  mutable inflight : (int * invocation) list;  (** wave -> invocation *)
+  i_waves : (int, invocation) Hashtbl.t;  (** wave -> inflight invocation *)
+  mutable i_lo : int;             (** lowest possibly-inflight wave *)
+  mutable i_count : int;          (** inflight invocations *)
   mutable next_wave : int;
   mutable live : bool;            (** dynamic instances are retired *)
   idynamic : bool;
@@ -110,6 +152,13 @@ and instance = {
           concurrent invocations *)
   iprime : int array;             (** resting token count per edge *)
   mutable junction : (G.space_id * Memsys.subreq) Queue.t;
+  isyncs : node_rt array;         (** SyncWait nodes, for join wakes *)
+  mutable i_fire_nodes : node_rt list;  (** woken for fire (unordered) *)
+  mutable i_emit_nodes : node_rt list;  (** woken for emit (unordered) *)
+  mutable i_qfire : bool;         (** on the task's fire worklist *)
+  mutable i_qemit : bool;
+  mutable i_qcomplete : bool;
+  mutable i_qjunction : bool;
 }
 
 type task_rt = {
@@ -120,6 +169,16 @@ type task_rt = {
   mutable tinvocations : int;     (** total, for stats *)
   mutable tbusy : int;            (** cycles with at least one firing *)
   mutable trr : int;              (** round-robin dispatch cursor *)
+  mutable t_next_ord : int;       (** next [i_ord] for dynamic instances
+                                      (decreasing: newest first) *)
+  mutable t_fire : instance list;     (** instances with woken nodes *)
+  mutable t_emit : instance list;
+  mutable t_complete : instance list; (** instances to re-check for
+                                          invocation completion *)
+  mutable t_junction : instance list; (** instances with queued junction
+                                          sub-requests *)
+  mutable t_wait_child : (instance * node_rt) list;
+      (** caller nodes parked on this task's full invocation queue *)
 }
 
 and msg = {
@@ -138,6 +197,11 @@ type stats = {
       (** per task: fraction of cycles with at least one node firing *)
   mem : Memsys.struct_stats list;
   mem_requests : int;
+  wall_seconds : float;           (** kernel wall-clock time of [run] *)
+  cycles_per_sec : float;         (** simulated cycles per wall second *)
+  woken_per_cycle : float;        (** fire-phase node attempts per cycle *)
+  live_nodes_per_cycle : float;   (** instantiated nodes per cycle (the
+                                      dense sweep would attempt these) *)
 }
 
 type result = {
@@ -152,6 +216,10 @@ exception Cycle_limit of int
 (* ------------------------------------------------------------------ *)
 (* Simulator state                                                      *)
 
+type timed_ev =
+  | Wfire of instance * node_rt
+  | Wemit of instance * node_rt
+
 type t = {
   circ : G.circuit;
   ms : Memsys.t;
@@ -163,7 +231,94 @@ type t = {
   mutable root_result : token array option;
   junction_width : int array;     (** per task *)
   max_outstanding : int;
+  timed : (int, timed_ev list) Hashtbl.t;
+      (** absolute cycle -> wakes due; drained as [now] reaches each key *)
+  mutable dirty_fifos : fifo list;    (** channels with staged writes *)
+  mutable woken : int;            (** total fire-phase attempts, stats *)
+  mutable live_nodes : int;       (** nodes across live instances *)
+  mutable node_cycles : int;      (** Σ live_nodes per cycle, stats *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Wake plumbing                                                        *)
+
+let wake_fire (sim : t) (inst : instance) (n : node_rt) : unit =
+  if inst.live && not n.nr_qfire then begin
+    n.nr_qfire <- true;
+    inst.i_fire_nodes <- n :: inst.i_fire_nodes;
+    if not inst.i_qfire then begin
+      inst.i_qfire <- true;
+      let trt = sim.tasks.(inst.it.tid) in
+      trt.t_fire <- inst :: trt.t_fire
+    end
+  end
+
+let wake_emit (sim : t) (inst : instance) (n : node_rt) : unit =
+  if inst.live && not n.nr_qemit then begin
+    n.nr_qemit <- true;
+    inst.i_emit_nodes <- n :: inst.i_emit_nodes;
+    if not inst.i_qemit then begin
+      inst.i_qemit <- true;
+      let trt = sim.tasks.(inst.it.tid) in
+      trt.t_emit <- inst :: trt.t_emit
+    end
+  end
+
+let wake_complete (sim : t) (inst : instance) : unit =
+  if inst.live && not inst.i_qcomplete then begin
+    inst.i_qcomplete <- true;
+    let trt = sim.tasks.(inst.it.tid) in
+    trt.t_complete <- inst :: trt.t_complete
+  end
+
+let wake_junction (sim : t) (inst : instance) : unit =
+  if inst.live && not inst.i_qjunction then begin
+    inst.i_qjunction <- true;
+    let trt = sim.tasks.(inst.it.tid) in
+    trt.t_junction <- inst :: trt.t_junction
+  end
+
+(** Schedule a wake at absolute cycle [c] (clamped to the future). *)
+let at (sim : t) (c : int) (ev : timed_ev) : unit =
+  let c = max c (sim.now + 1) in
+  let prev = try Hashtbl.find sim.timed c with Not_found -> [] in
+  Hashtbl.replace sim.timed c (ev :: prev)
+
+let drain_timed (sim : t) : unit =
+  match Hashtbl.find_opt sim.timed sim.now with
+  | None -> ()
+  | Some evs ->
+    Hashtbl.remove sim.timed sim.now;
+    List.iter
+      (function
+        | Wfire (i, n) -> wake_fire sim i n
+        | Wemit (i, n) -> wake_emit sim i n)
+      evs
+
+(** A spawned child joined or a context count moved: re-check the
+    owner's completion and retry every parked sync. *)
+let ctx_dec (sim : t) (c : sync_ctx) : unit =
+  c.live_children <- c.live_children - 1;
+  (match c.cx_owner with Some i -> wake_complete sim i | None -> ());
+  List.iter (fun (i, n) -> wake_emit sim i n) c.cx_waiters
+
+let cmp_inst (a : instance) (b : instance) = compare a.i_ord b.i_ord
+let cmp_node (a : node_rt) (b : node_rt) = compare a.nr_idx b.nr_idx
+
+(* ------------------------------------------------------------------ *)
+(* Channel operations                                                   *)
+
+let fifo_space (f : fifo) = Queue.length f.fq + Queue.length f.staged < f.cap
+
+let fifo_push (sim : t) (f : fifo) (v : token) =
+  Queue.add v f.staged;
+  if not f.f_dirty then begin
+    f.f_dirty <- true;
+    sim.dirty_fifos <- f :: sim.dirty_fifos
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
 
 (* Tasks on a call/spawn cycle need dynamic instances. *)
 let dynamic_tasks (c : G.circuit) : bool array =
@@ -193,15 +348,16 @@ let imm_token = function
   | G.Simm v -> v
   | G.Swire -> T.VPoison
 
+let new_fifo cap =
+  { fq = Queue.create (); staged = Queue.create (); cap;
+    f_dirty = false; f_src = None; f_dst = None }
+
 let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
   let nedges = task.next_eid in
-  let fifos =
-    Array.init nedges (fun _ ->
-        { fq = Queue.create (); staged = []; cap = 1 })
-  in
+  let fifos = Array.init nedges (fun _ -> new_fifo 1) in
   List.iter
     (fun (e : G.edge) ->
-      let f = { fq = Queue.create (); staged = []; cap = e.capacity } in
+      let f = new_fifo e.capacity in
       List.iter (fun v -> Queue.add v f.fq) e.initial;
       fifos.(e.eid) <- f)
     task.edges;
@@ -237,13 +393,15 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
                  | Some eids -> List.map (fun e -> fifos.(e)) eids
                  | None -> [])
            in
-           { nr = n; nr_cost = Cost.node_cost n.kind; nr_in; nr_imm;
-             nr_out; nr_fired = 0; nr_busy_until = 0;
+           { nr = n; nr_cost = Cost.node_cost n.kind; nr_idx = 0; nr_in;
+             nr_imm; nr_out; nr_fired = 0; nr_busy_until = 0;
              nr_pipe = Queue.create (); nr_mem = Queue.create ();
              nr_resp = Hashtbl.create 8; nr_next_resp = 0;
-             nr_sync = Queue.create () })
+             nr_sync = Queue.create (); nr_qfire = false; nr_qemit = false;
+             nr_wait_child = false })
          task.nodes)
   in
+  Array.iteri (fun i n -> n.nr_idx <- i) nodes;
   let iid = sim.next_iid in
   sim.next_iid <- iid + 1;
   let iprime = Array.make nedges 0 in
@@ -262,9 +420,38 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
   in
   let inode_by_id = Array.make (max max_nid 1) None in
   Array.iter (fun nr -> inode_by_id.(nr.nr.G.nid) <- Some nr) nodes;
-  { it = task; iid; inodes = nodes; inode_by_id; ififos = fifos;
-    inflight = []; next_wave = 0; live = true; idynamic = dynamic;
-    ipipe_loop; iprime; junction = Queue.create () }
+  let isyncs =
+    Array.of_list
+      (List.filter
+         (fun (n : node_rt) ->
+           match n.nr.kind with G.SyncWait -> true | _ -> false)
+         (Array.to_list nodes))
+  in
+  let inst =
+    { it = task; iid; i_ord = 0; inodes = nodes; inode_by_id;
+      ififos = fifos; i_waves = Hashtbl.create 8; i_lo = 0; i_count = 0;
+      next_wave = 0; live = true; idynamic = dynamic; ipipe_loop; iprime;
+      junction = Queue.create (); isyncs; i_fire_nodes = [];
+      i_emit_nodes = []; i_qfire = false; i_qemit = false;
+      i_qcomplete = false; i_qjunction = false }
+  in
+  (* Back-pointers so channel events can wake producer/consumer. *)
+  List.iter
+    (fun (e : G.edge) ->
+      let f = fifos.(e.eid) in
+      (match inode_by_id.(fst e.dst) with
+      | Some n -> f.f_dst <- Some (inst, n)
+      | None -> ());
+      match inode_by_id.(fst e.src) with
+      | Some n -> f.f_src <- Some (inst, n)
+      | None -> ())
+    task.edges;
+  sim.live_nodes <- sim.live_nodes + Array.length nodes;
+  (* First cycle behaves like a dense sweep over the fresh instance:
+     initial loop-control tokens can enable nodes with no other wake
+     source. *)
+  Array.iter (fun n -> wake_fire sim inst n) nodes;
+  inst
 
 let create (c : G.circuit) : t =
   Muir_core.Validate.check_exn c;
@@ -278,7 +465,8 @@ let create (c : G.circuit) : t =
          (fun (t : G.task) ->
            { tk = t; tqueue = Queue.create (); tinstances = [];
              tdynamic = dyn.(t.tid); tinvocations = 0; tbusy = 0;
-             trr = 0 })
+             trr = 0; t_next_ord = -1; t_fire = []; t_emit = [];
+             t_complete = []; t_junction = []; t_wait_child = [] })
          c.tasks)
   in
   let sim =
@@ -286,15 +474,18 @@ let create (c : G.circuit) : t =
       next_iid = 0; root_result = None;
       junction_width =
         Array.init n (fun tid -> G.junction_width c tid);
-      max_outstanding = 8 }
+      max_outstanding = 8; timed = Hashtbl.create 64; dirty_fifos = [];
+      woken = 0; live_nodes = 0; node_cycles = 0 }
   in
   (* Static instances for non-dynamic tasks: one per tile. *)
   Array.iter
     (fun trt ->
-      if not trt.tdynamic then
+      if not trt.tdynamic then begin
         trt.tinstances <-
           List.init trt.tk.tiles (fun _ ->
-              new_instance sim trt.tk ~dynamic:false))
+              new_instance sim trt.tk ~dynamic:false);
+        List.iteri (fun k inst -> inst.i_ord <- k) trt.tinstances
+      end)
     tasks;
   sim
 
@@ -302,13 +493,40 @@ let create (c : G.circuit) : t =
 (* Invocation plumbing                                                  *)
 
 let find_inv (inst : instance) (wave : int) : invocation =
-  match List.assoc_opt wave inst.inflight with
+  match Hashtbl.find_opt inst.i_waves wave with
   | Some iv -> iv
   | None ->
     raise
       (Deadlock
          (Fmt.str "task %s: no inflight invocation for wave %d" inst.it.tname
             wave))
+
+(** Oldest inflight invocation (lowest wave), advancing the window's
+    low cursor past completed waves. *)
+let oldest_inv (inst : instance) : invocation option =
+  if inst.i_count = 0 then None
+  else begin
+    let rec go w =
+      if w >= inst.next_wave then None
+      else
+        match Hashtbl.find_opt inst.i_waves w with
+        | Some iv ->
+          inst.i_lo <- w;
+          Some iv
+        | None -> go (w + 1)
+    in
+    go inst.i_lo
+  end
+
+(** Inflight invocations in wave (= invocation) order. *)
+let inflight_waves (inst : instance) : (int * invocation) list =
+  let acc = ref [] in
+  for w = inst.next_wave - 1 downto inst.i_lo do
+    match Hashtbl.find_opt inst.i_waves w with
+    | Some iv -> acc := (w, iv) :: !acc
+    | None -> ()
+  done;
+  !acc
 
 (** The invocation a firing of node [n] belongs to.  In function tasks
     every node fires exactly once per wave; in loop tasks only one
@@ -317,9 +535,9 @@ let attr_inv (inst : instance) (n : node_rt) : invocation =
   match inst.it.tkind with
   | G.Tfunc -> find_inv inst n.nr_fired
   | G.Tloop _ -> (
-    match inst.inflight with
-    | (_, iv) :: _ -> iv
-    | [] ->
+    match oldest_inv inst with
+    | Some iv -> iv
+    | None ->
       raise
         (Deadlock
            (Fmt.str "loop task %s fired with no inflight invocation"
@@ -328,7 +546,7 @@ let attr_inv (inst : instance) (n : node_rt) : invocation =
 (** Can this instance accept another invocation right now? *)
 let can_accept (inst : instance) : bool =
   (match inst.it.tkind with
-  | G.Tloop _ -> inst.ipipe_loop || inst.inflight = []
+  | G.Tloop _ -> inst.ipipe_loop || inst.i_count = 0
   | G.Tfunc -> true)
   && List.for_all
        (fun (n : node_rt) ->
@@ -343,7 +561,8 @@ let inject (sim : t) (trt : task_rt) (inst : instance) (m : msg) : unit =
   trt.tinvocations <- trt.tinvocations + 1;
   let own_ctx =
     match inst.it.tkind with
-    | G.Tfunc -> Some { live_children = 0 }
+    | G.Tfunc ->
+      Some { live_children = 0; cx_owner = Some inst; cx_waiters = [] }
     | G.Tloop _ -> None
   in
   let iv =
@@ -354,15 +573,17 @@ let inject (sim : t) (trt : task_rt) (inst : instance) (m : msg) : unit =
       iv_liveouts = Array.make (List.length inst.it.res_tys) None;
       iv_stores = 0 }
   in
-  inst.inflight <- inst.inflight @ [ (wave, iv) ];
+  Hashtbl.replace inst.i_waves wave iv;
+  inst.i_count <- inst.i_count + 1;
   Array.iter
     (fun (n : node_rt) ->
       match n.nr.kind with
       | G.LiveIn i ->
         let v = if i < Array.length m.m_args then m.m_args.(i) else T.VPoison in
-        List.iter (fun f -> fifo_push f v) n.nr_out.(0)
+        List.iter (fun f -> fifo_push sim f v) n.nr_out.(0)
       | _ -> ())
     inst.inodes;
+  wake_complete sim inst;
   sim.last_activity <- sim.now
 
 (** Deliver a completed child's results to its parent. *)
@@ -371,12 +592,14 @@ let deliver_reply (sim : t) (reply : reply) (res : token array) : unit =
   | Rroot -> sim.root_result <- Some res
   | Rcall { r_inst; r_node; r_wave } ->
     let n = Option.get r_inst.inode_by_id.(r_node) in
-    Hashtbl.replace n.nr_resp r_wave res
+    Hashtbl.replace n.nr_resp r_wave res;
+    wake_emit sim r_inst n
   | Rspawn { r_inst; r_node; r_wave; r_ctx } ->
-    r_ctx.live_children <- r_ctx.live_children - 1;
+    ctx_dec sim r_ctx;
     let v = if Array.length res > 1 then res.(1) else T.VBool true in
     let n = Option.get r_inst.inode_by_id.(r_node) in
-    Hashtbl.replace n.nr_resp r_wave [| v |]
+    Hashtbl.replace n.nr_resp r_wave [| v |];
+    wake_emit sim r_inst n
 
 (** A function-task wave is fully fired once every node (live-ins are
     driven by injection) has consumed it — this is exact because every
@@ -412,13 +635,13 @@ let loop_quiescent (inst : instance) : bool =
   && Queue.is_empty inst.junction
   && Array.for_all2
        (fun (f : fifo) prime ->
-         Queue.length f.fq + List.length f.staged = prime)
+         Queue.length f.fq + Queue.length f.staged = prime)
        inst.ififos inst.iprime
 
 let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
-  let complete, keep =
-    List.partition
-      (fun (wave, iv) ->
+  let complete =
+    List.filter
+      (fun ((wave, iv) : int * invocation) ->
         Array.for_all Option.is_some iv.iv_liveouts
         && iv.iv_stores = 0
         && (match iv.iv_own_ctx with
@@ -430,18 +653,26 @@ let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
              (* leaf loops have no side effects to wait for: the
                 live-out tuple is the whole observable result *)
              inst.ipipe_loop || loop_quiescent inst))
-      inst.inflight
+      (inflight_waves inst)
   in
   if complete <> [] then begin
-    inst.inflight <- keep;
+    List.iter (fun (wave, _) -> Hashtbl.remove inst.i_waves wave) complete;
+    inst.i_count <- inst.i_count - List.length complete;
+    while
+      inst.i_lo < inst.next_wave
+      && not (Hashtbl.mem inst.i_waves inst.i_lo)
+    do
+      inst.i_lo <- inst.i_lo + 1
+    done;
     sim.last_activity <- sim.now;
     List.iter
       (fun (_, iv) ->
         let res = Array.map Option.get iv.iv_liveouts in
         deliver_reply sim iv.iv_reply res)
       complete;
-    if inst.idynamic && keep = [] then begin
+    if inst.idynamic && inst.i_count = 0 then begin
       inst.live <- false;
+      sim.live_nodes <- sim.live_nodes - Array.length inst.inodes;
       trt.tinstances <-
         List.filter (fun i -> i.iid <> inst.iid) trt.tinstances
     end
@@ -455,10 +686,16 @@ let peek_in (n : node_rt) (i : int) : token option =
   | None -> Some n.nr_imm.(i)
   | Some f -> if Queue.is_empty f.fq then None else Some (Queue.peek f.fq)
 
-let pop_in (n : node_rt) (i : int) : token =
+let pop_in (sim : t) (n : node_rt) (i : int) : token =
   match n.nr_in.(i) with
   | None -> n.nr_imm.(i)
-  | Some f -> Queue.pop f.fq
+  | Some f ->
+    let v = Queue.pop f.fq in
+    (* Space freed: the producer's blocked emission may proceed. *)
+    (match f.f_src with
+    | Some (si, sn) -> wake_emit sim si sn
+    | None -> ());
+    v
 
 let all_inputs_ready (n : node_rt) : bool =
   let ok = ref true in
@@ -467,11 +704,17 @@ let all_inputs_ready (n : node_rt) : bool =
     n.nr_in;
   !ok
 
-let truthy (v : token) =
-  match v with
-  | T.VBool b -> b
-  | T.VInt i -> not (Int64.equal i 0L)
-  | _ -> false
+(** Could the node fire again with the tokens already committed?  Used
+    to self-schedule a re-attempt after a successful firing — no other
+    event will arrive for tokens that are already there. *)
+let ready_again (n : node_rt) : bool =
+  match n.nr.kind with
+  | G.LiveIn _ -> false
+  | G.MergeLoop -> (
+    match peek_in n 0 with
+    | None -> false
+    | Some ctl -> peek_in n (if truthy ctl then 2 else 1) <> None)
+  | _ -> all_inputs_ready n
 
 (** Build the word list of a memory access. *)
 let access_words (kind : G.node_kind) (addr : int) (stride : int)
@@ -490,18 +733,17 @@ let access_words (kind : G.node_kind) (addr : int) (stride : int)
         (addr + (r * stride) + c, Some (T.VFloat tile.(i))))
   | _ -> invalid_arg "access_words"
 
-let to_int (v : token) : int =
-  match v with
-  | T.VInt i -> Int64.to_int i
-  | T.VBool true -> 1
-  | T.VBool false -> 0
-  | _ -> 0
-
-(** Attempt to fire node [n] of [inst]; true if it fired. *)
+(** Attempt to fire node [n] of [inst]; true if it fired.  A failed
+    attempt has no side effects beyond (re)subscribing the node to the
+    event that can unblock it. *)
 let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
     =
   let now = sim.now in
-  if n.nr_busy_until > now then false
+  if n.nr_busy_until > now then begin
+    (* Sleeping on the initiation interval: retry when it expires. *)
+    at sim n.nr_busy_until (Wfire (inst, n));
+    false
+  end
   else
     match n.nr.kind with
     | G.LiveIn _ -> false (* driven by injection *)
@@ -516,8 +758,8 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
         | Some _ ->
           if Queue.length n.nr_pipe >= 4 then false
           else begin
-            ignore (pop_in n 0);
-            let v = pop_in n sel in
+            ignore (pop_in sim n 0);
+            let v = pop_in sim n sel in
             Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
             n.nr_fired <- n.nr_fired + 1;
             true
@@ -530,7 +772,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
         match n.nr.kind with
         | G.Compute op ->
           let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           let v = Exec.compute op args in
           Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
           n.nr_busy_until <- now + n.nr_cost.ii;
@@ -538,7 +780,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
           true
         | G.Fused ops ->
           let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           let v = Exec.fused ops args in
           Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
           n.nr_busy_until <- now + n.nr_cost.ii;
@@ -546,7 +788,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
           true
         | G.Merge k ->
           let args = Array.init (Array.length n.nr_in) (fun i -> peek_in n i |> Option.get) in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           let v = Exec.merge k args in
           Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
           n.nr_fired <- n.nr_fired + 1;
@@ -554,8 +796,8 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
         | G.Steer ->
           let p = peek_in n 0 |> Option.get in
           let d = peek_in n 1 |> Option.get in
-          ignore (pop_in n 0);
-          ignore (pop_in n 1);
+          ignore (pop_in sim n 0);
+          ignore (pop_in sim n 1);
           let port = if truthy p then 0 else 1 in
           Queue.add (now + n.nr_cost.latency - 1, [ (port, d) ]) n.nr_pipe;
           n.nr_fired <- n.nr_fired + 1;
@@ -567,7 +809,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
               (Array.length n.nr_in - 1)
               (fun i -> peek_in n (i + 1) |> Option.get)
           in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           let v = Exec.fused ops args in
           let port = if truthy p then 0 else 1 in
           Queue.add (now + n.nr_cost.latency - 1, [ (port, v) ]) n.nr_pipe;
@@ -576,7 +818,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
           true
         | G.Tcompute { top; _ } ->
           let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           let v = Exec.tensor top args in
           Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
           n.nr_busy_until <- now + n.nr_cost.ii;
@@ -593,10 +835,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
             in
             let inv =
               if is_store_kind then Some (attr_inv inst n)
-              else
-                match inst.inflight with
-                | (_, iv) :: _ -> Some iv
-                | [] -> None
+              else oldest_inv inst
             in
             let pred = peek_in n 0 |> Option.get in
             let is_store = is_store_kind in
@@ -610,7 +849,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
                 (peek_in n 2 |> Option.get, peek_in n 3 |> Option.get)
               | _ -> assert false
             in
-            Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+            Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
             if truthy pred && not (T.is_poison addr) then begin
               let words =
                 access_words n.nr.kind (to_int addr) (to_int stride) value
@@ -618,8 +857,11 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
               let a =
                 { Memsys.a_is_store = is_store; a_words = words;
                   a_loaded = []; a_pending = 0; a_done = false;
-                  a_issued = now }
+                  a_issued = now; a_notify = ignore }
               in
+              (* Matured responses push the node's emission, not a
+                 next-cycle poll of every memory node. *)
+              a.Memsys.a_notify <- (fun () -> wake_emit sim inst n);
               let rt = sim.ms.space_of space in
               let srs = Memsys.split rt a in
               a.a_pending <- List.length srs;
@@ -657,7 +899,15 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
           let queue_cap = child.tk.queue_depth * max child.tk.tiles 1 in
           if truthy pred && Queue.length child.tqueue >= queue_cap
              && not child.tdynamic
-          then false
+          then begin
+            (* Park on the child's full queue; its dispatch pops us
+               back onto the worklist. *)
+            if not n.nr_wait_child then begin
+              n.nr_wait_child <- true;
+              child.t_wait_child <- (inst, n) :: child.t_wait_child
+            end;
+            false
+          end
           else begin
             let wave = n.nr_fired in
             let inv = attr_inv inst n in
@@ -669,7 +919,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
                     | Some v -> v
                     | None -> T.VPoison)
             in
-            Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+            Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
             if truthy pred then begin
               let reply =
                 if is_spawn then begin
@@ -703,8 +953,16 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
           end
         | G.SyncWait ->
           let inv = attr_inv inst n in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           Queue.add (inv, n.nr_fired) n.nr_sync;
+          (* Park on the join context: each child completion retries
+             the sync's emission. *)
+          if
+            not
+              (List.exists (fun (_, m) -> m == n) inv.iv_eff_ctx.cx_waiters)
+          then
+            inv.iv_eff_ctx.cx_waiters <-
+              (inst, n) :: inv.iv_eff_ctx.cx_waiters;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.LiveOut idx ->
@@ -714,12 +972,37 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
             | G.Tfunc -> find_inv inst n.nr_fired
             | G.Tloop _ -> attr_inv inst n
           in
-          Array.iteri (fun i _ -> ignore (pop_in n i)) n.nr_in;
+          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
           inv.iv_liveouts.(idx) <- Some v;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.LiveIn _ | G.MergeLoop -> assert false
       end
+
+(** Fire attempt plus the event subscriptions a success implies. *)
+let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
+    bool =
+  if try_fire sim trt inst n then begin
+    sim.fires <- sim.fires + 1;
+    sim.last_activity <- sim.now;
+    (* The firing may have produced something to emit this very cycle
+       and may have changed the instance's completion conditions. *)
+    wake_emit sim inst n;
+    wake_complete sim inst;
+    (match n.nr.kind with
+    | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ ->
+      wake_junction sim inst
+    | G.SpawnChild _ ->
+      (* spawns_issued moved: parked syncs may now be able to pass *)
+      Array.iter (fun s -> wake_emit sim inst s) inst.isyncs
+    | _ -> ());
+    (* Tokens already committed can enable the next firing without any
+       further event: self-schedule past the initiation interval. *)
+    if ready_again n then
+      at sim (max n.nr_busy_until (sim.now + 1)) (Wfire (inst, n));
+    true
+  end
+  else false
 
 (* ------------------------------------------------------------------ *)
 (* Emission (phase B)                                                   *)
@@ -729,9 +1012,9 @@ let ports_have_space (n : node_rt) (outs : (int * token) list) : bool =
     (fun (p, _) -> List.for_all fifo_space n.nr_out.(p))
     outs
 
-let emit_ports (n : node_rt) (outs : (int * token) list) : unit =
+let emit_ports (sim : t) (n : node_rt) (outs : (int * token) list) : unit =
   List.iter
-    (fun (p, v) -> List.iter (fun f -> fifo_push f v) n.nr_out.(p))
+    (fun (p, v) -> List.iter (fun f -> fifo_push sim f v) n.nr_out.(p))
     outs
 
 let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
@@ -742,7 +1025,7 @@ let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
       let ready, outs = Queue.peek n.nr_pipe in
       if ready <= sim.now && ports_have_space n outs then begin
         ignore (Queue.pop n.nr_pipe);
-        emit_ports n outs;
+        emit_ports sim n outs;
         progressed := true;
         drain_pipe ()
       end
@@ -773,7 +1056,7 @@ let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
           | Some iv when e.me_is_store && e.me_acc <> None ->
             if iv.iv_stores > 0 then iv.iv_stores <- iv.iv_stores - 1
           | _ -> ());
-          emit_ports n outs;
+          emit_ports sim n outs;
           progressed := true;
           drain_mem ()
         end
@@ -793,7 +1076,7 @@ let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
       if ports_have_space n outs then begin
         Hashtbl.remove n.nr_resp n.nr_next_resp;
         n.nr_next_resp <- n.nr_next_resp + 1;
-        emit_ports n outs;
+        emit_ports sim n outs;
         progressed := true;
         drain_resp ()
       end
@@ -820,128 +1103,238 @@ let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
          && ports_have_space n [ (0, T.VBool true) ]
       then begin
         ignore (Queue.pop n.nr_sync);
-        emit_ports n [ (0, T.VBool true) ];
+        emit_ports sim n [ (0, T.VBool true) ];
         progressed := true;
         drain_sync ()
       end
     end
   in
   drain_sync ();
+  (* Whatever is still pipelined wakes the node on its due cycle. *)
+  (match Queue.peek_opt n.nr_pipe with
+  | Some (ready, _) when ready > sim.now -> at sim ready (Wemit (inst, n))
+  | _ -> ());
   !progressed
 
 (* ------------------------------------------------------------------ *)
 (* The main loop                                                        *)
 
+(** Pull an instance's woken nodes in graph order, clearing flags. *)
+let take_fire_nodes (inst : instance) : node_rt list =
+  let ns = inst.i_fire_nodes in
+  inst.i_fire_nodes <- [];
+  List.iter (fun n -> n.nr_qfire <- false) ns;
+  List.sort cmp_node ns
+
+let take_emit_nodes (inst : instance) : node_rt list =
+  let ns = inst.i_emit_nodes in
+  inst.i_emit_nodes <- [];
+  List.iter (fun n -> n.nr_qemit <- false) ns;
+  List.sort cmp_node ns
+
 let step (sim : t) : unit =
   let now = sim.now in
-  (* 1. memory structures *)
+  (* 0. timed wakes due this cycle *)
+  drain_timed sim;
+  (* 1. memory structures (completions notify waiting nodes) *)
   Memsys.step sim.ms ~now;
-  (* 2. junction arbitration per instance *)
+  (* 2. junction arbitration, only where sub-requests are queued *)
   Array.iter
     (fun trt ->
-      List.iter
-        (fun inst ->
-          let w = sim.junction_width.(trt.tk.tid) in
-          for _ = 1 to w do
-            if not (Queue.is_empty inst.junction) then begin
-              let space, sr = Queue.pop inst.junction in
-              let rt = sim.ms.space_of space in
-              Memsys.enqueue sim.ms rt sr;
-              sim.last_activity <- now
-            end
-          done)
-        trt.tinstances)
-    sim.tasks;
-  (* 3. fire phase *)
-  Array.iter
-    (fun trt ->
-      let task_fired = ref false in
-      if trt.tdynamic then begin
-        (* At most [tiles] contexts issue datapath work per cycle. *)
-        let slots = ref trt.tk.tiles in
+      match trt.t_junction with
+      | [] -> ()
+      | insts ->
+        trt.t_junction <- [];
+        let insts = List.sort cmp_inst insts in
+        let w = sim.junction_width.(trt.tk.tid) in
         List.iter
           (fun inst ->
-            if !slots > 0 && inst.live then begin
-              let fired_any = ref false in
-              Array.iter
-                (fun n ->
-                  if try_fire sim trt inst n then begin
-                    fired_any := true;
-                    sim.fires <- sim.fires + 1;
-                    sim.last_activity <- now
-                  end)
-                inst.inodes;
-              if !fired_any then begin
-                decr slots;
-                task_fired := true
-              end
+            inst.i_qjunction <- false;
+            if inst.live then begin
+              for _ = 1 to w do
+                if not (Queue.is_empty inst.junction) then begin
+                  let space, sr = Queue.pop inst.junction in
+                  let rt = sim.ms.space_of space in
+                  Memsys.enqueue sim.ms rt sr;
+                  sim.last_activity <- now;
+                  wake_complete sim inst
+                end
+              done;
+              if not (Queue.is_empty inst.junction) then
+                wake_junction sim inst
             end)
-          trt.tinstances
-      end
-      else
+          insts)
+    sim.tasks;
+  (* 3. fire phase over woken nodes *)
+  Array.iter
+    (fun trt ->
+      match trt.t_fire with
+      | [] -> ()
+      | insts ->
+        trt.t_fire <- [];
+        let insts = List.sort cmp_inst insts in
+        let task_fired = ref false in
+        if trt.tdynamic then begin
+          (* At most [tiles] contexts issue datapath work per cycle. *)
+          let slots = ref trt.tk.tiles in
+          List.iter
+            (fun inst ->
+              inst.i_qfire <- false;
+              if not inst.live then begin
+                List.iter (fun n -> n.nr_qfire <- false) inst.i_fire_nodes;
+                inst.i_fire_nodes <- []
+              end
+              else if !slots = 0 then begin
+                (* No tile this cycle: stay woken for the next one. *)
+                inst.i_qfire <- true;
+                trt.t_fire <- inst :: trt.t_fire
+              end
+              else begin
+                let ns = take_fire_nodes inst in
+                sim.woken <- sim.woken + List.length ns;
+                let fired_any = ref false in
+                List.iter
+                  (fun n ->
+                    if fire_node sim trt inst n then fired_any := true)
+                  ns;
+                if !fired_any then begin
+                  decr slots;
+                  task_fired := true
+                end
+              end)
+            insts
+        end
+        else
+          List.iter
+            (fun inst ->
+              inst.i_qfire <- false;
+              if inst.live then begin
+                let ns = take_fire_nodes inst in
+                sim.woken <- sim.woken + List.length ns;
+                List.iter
+                  (fun n ->
+                    if fire_node sim trt inst n then task_fired := true)
+                  ns
+              end
+              else begin
+                List.iter (fun n -> n.nr_qfire <- false) inst.i_fire_nodes;
+                inst.i_fire_nodes <- []
+              end)
+            insts;
+        if !task_fired then trt.tbusy <- trt.tbusy + 1)
+    sim.tasks;
+  (* 4. emission phase over woken nodes *)
+  Array.iter
+    (fun trt ->
+      match trt.t_emit with
+      | [] -> ()
+      | insts ->
+        trt.t_emit <- [];
+        let insts = List.sort cmp_inst insts in
         List.iter
           (fun inst ->
-            Array.iter
-              (fun n ->
-                if try_fire sim trt inst n then begin
-                  task_fired := true;
-                  sim.fires <- sim.fires + 1;
-                  sim.last_activity <- now
-                end)
-              inst.inodes)
-          trt.tinstances;
-      if !task_fired then trt.tbusy <- trt.tbusy + 1)
+            inst.i_qemit <- false;
+            let ns = take_emit_nodes inst in
+            if inst.live then
+              List.iter
+                (fun n ->
+                  if try_emit sim inst n then begin
+                    sim.last_activity <- now;
+                    (* Freed pipeline/memory slots may unblock the
+                       node's next firing; drained state feeds the
+                       completion check below. *)
+                    wake_fire sim inst n;
+                    wake_complete sim inst
+                  end)
+                ns)
+          insts)
     sim.tasks;
-  (* 4. emission phase *)
+  (* 5. completions, only on instances whose state moved.  A child
+     completing here can enable its parent's completion in the same
+     cycle when the parent sits later in the sweep order — chase those
+     wakes exactly as far as the dense sweep would have. *)
   Array.iter
     (fun trt ->
-      List.iter
-        (fun inst ->
-          Array.iter
-            (fun n -> if try_emit sim inst n then sim.last_activity <- now)
-            inst.inodes)
-        trt.tinstances)
-    sim.tasks;
-  (* 5. completions *)
-  Array.iter
-    (fun trt ->
-      List.iter (fun inst -> try_complete sim trt inst) trt.tinstances)
+      if trt.t_complete <> [] then begin
+        let rec drain cursor =
+          let ready, later =
+            List.partition (fun i -> i.i_ord > cursor) trt.t_complete
+          in
+          if ready <> [] then begin
+            trt.t_complete <- later;
+            let ready = List.sort cmp_inst ready in
+            let c = ref cursor in
+            List.iter
+              (fun inst ->
+                inst.i_qcomplete <- false;
+                c := inst.i_ord;
+                if inst.live then try_complete sim trt inst)
+              ready;
+            drain !c
+          end
+        in
+        drain min_int
+      end)
     sim.tasks;
   (* 6. dispatch *)
   Array.iter
     (fun trt ->
-      if trt.tdynamic then
-        (* every queued message becomes a fresh context *)
-        while not (Queue.is_empty trt.tqueue) do
-          let m = Queue.pop trt.tqueue in
-          let inst = new_instance sim trt.tk ~dynamic:true in
-          (* LIFO: newest contexts first, so recursion runs depth-first *)
-          trt.tinstances <- inst :: trt.tinstances;
-          inject sim trt inst m
-        done
-      else begin
-        (* Round-robin dispatch across tiles: a pipelined instance
-           would otherwise accept every invocation and starve its
-           replicas. *)
-        let insts = Array.of_list trt.tinstances in
-        let n = Array.length insts in
-        if n > 0 then
-          for k = 0 to n - 1 do
-            let inst = insts.((trt.trr + k) mod n) in
-            if (not (Queue.is_empty trt.tqueue)) && can_accept inst then begin
-              inject sim trt inst (Queue.pop trt.tqueue);
-              trt.trr <- (trt.trr + k + 1) mod n
-            end
+      if not (Queue.is_empty trt.tqueue) then begin
+        if trt.tdynamic then
+          (* every queued message becomes a fresh context *)
+          while not (Queue.is_empty trt.tqueue) do
+            let m = Queue.pop trt.tqueue in
+            let inst = new_instance sim trt.tk ~dynamic:true in
+            inst.i_ord <- trt.t_next_ord;
+            trt.t_next_ord <- trt.t_next_ord - 1;
+            (* LIFO: newest contexts first, so recursion runs depth-first *)
+            trt.tinstances <- inst :: trt.tinstances;
+            inject sim trt inst m
           done
+        else begin
+          (* Round-robin dispatch across tiles: a pipelined instance
+             would otherwise accept every invocation and starve its
+             replicas. *)
+          let insts = Array.of_list trt.tinstances in
+          let n = Array.length insts in
+          let popped = ref false in
+          if n > 0 then
+            for k = 0 to n - 1 do
+              let inst = insts.((trt.trr + k) mod n) in
+              if (not (Queue.is_empty trt.tqueue)) && can_accept inst then begin
+                inject sim trt inst (Queue.pop trt.tqueue);
+                popped := true;
+                trt.trr <- (trt.trr + k + 1) mod n
+              end
+            done;
+          (* Queue space freed: parked callers can try again. *)
+          if !popped && trt.t_wait_child <> [] then begin
+            let ws = trt.t_wait_child in
+            trt.t_wait_child <- [];
+            List.iter
+              (fun (i, wn) ->
+                wn.nr_wait_child <- false;
+                wake_fire sim i wn)
+              ws
+          end
+        end
       end)
     sim.tasks;
-  (* 7. commit channel writes *)
-  Array.iter
-    (fun trt ->
-      List.iter
-        (fun inst -> Array.iter fifo_commit inst.ififos)
-        trt.tinstances)
-    sim.tasks;
+  (* 7. commit staged channel writes (dirty channels only) *)
+  let dirty = sim.dirty_fifos in
+  sim.dirty_fifos <- [];
+  List.iter
+    (fun f ->
+      f.f_dirty <- false;
+      if not (Queue.is_empty f.staged) then begin
+        Queue.transfer f.staged f.fq;
+        (* Fresh tokens: the consumer may be able to fire. *)
+        match f.f_dst with
+        | Some (di, dn) -> wake_fire sim di dn
+        | None -> ()
+      end)
+    dirty;
+  sim.node_cycles <- sim.node_cycles + sim.live_nodes;
   sim.now <- now + 1
 
 (** Pre-load cycles for DMA into scratchpads (8 words per cycle). *)
@@ -969,13 +1362,12 @@ let diagnose (sim : t) : string =
            (List.length trt.tinstances));
       List.iter
         (fun inst ->
-          if inst.inflight <> [] then begin
+          if inst.i_count > 0 then begin
             Buffer.add_string buf
               (Fmt.str "task %s#%d: %d inflight, waves %a@." trt.tk.tname
-                 inst.iid
-                 (List.length inst.inflight)
+                 inst.iid inst.i_count
                  Fmt.(Dump.list int)
-                 (List.map fst inst.inflight));
+                 (List.map fst (inflight_waves inst)));
             Array.iter
               (fun (n : node_rt) ->
                 let in_state =
@@ -1023,9 +1415,10 @@ let diagnose (sim : t) : string =
     the root's return value, the final memory, and statistics. *)
 let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
     (c : G.circuit) : result =
+  let t_start = Unix.gettimeofday () in
   let sim = create c in
   let root = sim.tasks.(c.root) in
-  let ctx = { live_children = 0 } in
+  let ctx = { live_children = 0; cx_owner = None; cx_waiters = [] } in
   Queue.add
     { m_args = Array.of_list (T.VBool true :: args); m_ctx = ctx;
       m_reply = Rroot }
@@ -1044,6 +1437,10 @@ let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
   let res = Option.get sim.root_result in
   let value = if Array.length res > 1 then res.(1) else T.VBool true in
   let dma = dma_cycles c in
+  let wall = Unix.gettimeofday () -. t_start in
+  let per_cycle total =
+    if sim.now = 0 then 0.0 else float_of_int total /. float_of_int sim.now
+  in
   { value;
     memory = sim.ms.mem;
     stats =
@@ -1061,4 +1458,9 @@ let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
                    else float_of_int trt.tbusy /. float_of_int sim.now ))
                sim.tasks);
         mem = Memsys.stats sim.ms;
-        mem_requests = sim.ms.total_requests } }
+        mem_requests = sim.ms.total_requests;
+        wall_seconds = wall;
+        cycles_per_sec =
+          (if wall > 0.0 then float_of_int sim.now /. wall else 0.0);
+        woken_per_cycle = per_cycle sim.woken;
+        live_nodes_per_cycle = per_cycle sim.node_cycles } }

@@ -38,7 +38,8 @@ let shell ~spad_width ~spad_banks ~cache_banks () =
 let access addrs =
   { M.a_is_store = false;
     a_words = Array.of_list (List.map (fun a -> (a, None)) addrs);
-    a_loaded = []; a_pending = 0; a_done = false; a_issued = 0 }
+    a_loaded = []; a_pending = 0; a_done = false; a_issued = 0;
+    a_notify = ignore }
 
 let test_scratchpad_split_width () =
   let _, sp, _ = shell ~spad_width:4 ~spad_banks:2 ~cache_banks:1 () in

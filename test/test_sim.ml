@@ -215,6 +215,87 @@ func void main() {
   Alcotest.(check int) "total = cycles + dma" r.stats.total_cycles
     (r.stats.cycles + r.stats.dma_cycles)
 
+(* Kernel equivalence: the event-driven kernel must be bit-for-bit
+   cycle-accurate against the dense-sweep seed kernel.  The constants
+   below are total_cycles/fires recorded from the seed on every
+   bundled workload; any wake-discipline bug that lets a node fire a
+   cycle early/late, or reorders firings within a cycle, shifts these
+   numbers.  Functional outputs are checked against the golden
+   interpreter in the same run. *)
+
+module W = Muir_workloads.Workloads
+
+let seed_golden =
+  [ ("gemm", 46136, 104811);
+    ("covar", 14927, 31120);
+    ("fft", 12952, 19131);
+    ("fft-buf", 7752, 14886);
+    ("spmv", 7017, 8591);
+    ("2mm", 42274, 91557);
+    ("3mm", 37678, 81691);
+    ("fib", 15144, 27626);
+    ("msort", 8479, 27894);
+    ("saxpy", 8276, 8205);
+    ("stencil", 36765, 89333);
+    ("img-scale", 13819, 34117);
+    ("conv", 36756, 84599);
+    ("dense8", 12815, 28699);
+    ("dense16", 24583, 57179);
+    ("softm8", 6328, 8976);
+    ("softm16", 11558, 16912);
+    ("relu[T]", 2105, 1451);
+    ("2mm[T]", 3906, 4485);
+    ("conv[T]", 4064, 4875);
+    ("rgb2yuv", 3300, 4390);
+    ("conv1d", 11498, 21013) ]
+
+let test_kernel_equivalence (w : W.t) () =
+  let p = W.program w in
+  let _, gold, _ = Muir_ir.Interp.run p in
+  let c = Muir_core.Build.circuit ~name:w.wname p in
+  let r = Muir_sim.Sim.run c in
+  (match
+     List.find_opt (fun (n, _, _) -> n = w.wname) seed_golden
+   with
+  | Some (_, cycles, fires) ->
+    Alcotest.(check int)
+      (w.wname ^ ": total_cycles == seed kernel")
+      cycles r.stats.total_cycles;
+    Alcotest.(check int) (w.wname ^ ": fires == seed kernel") fires
+      r.stats.fires
+  | None ->
+    Alcotest.failf
+      "workload %s has no recorded seed-kernel golden numbers — run it \
+       through the kernel and add (name, total_cycles, fires) to \
+       seed_golden"
+      w.wname);
+  List.iter
+    (fun g ->
+      let a = Muir_ir.Memory.dump_global gold p g in
+      let b = Muir_ir.Memory.dump_global r.memory p g in
+      Array.iteri
+        (fun i x ->
+          if not (Muir_ir.Types.value_close x b.(i)) then
+            Alcotest.failf "%s: %s[%d] golden=%s sim=%s" w.wname g i
+              (Muir_ir.Types.value_to_string x)
+              (Muir_ir.Types.value_to_string b.(i)))
+        a)
+    w.outputs;
+  (* Determinism: a second run of the same circuit build must land on
+     exactly the same cycle count (no hidden hash/iteration-order
+     dependence in the worklists). *)
+  let c2 = Muir_core.Build.circuit ~name:w.wname p in
+  let r2 = Muir_sim.Sim.run c2 in
+  Alcotest.(check int)
+    (w.wname ^ ": deterministic across runs")
+    r.stats.total_cycles r2.stats.total_cycles
+
+let equivalence_cases =
+  List.map
+    (fun (w : W.t) ->
+      Alcotest.test_case w.wname `Quick (test_kernel_equivalence w))
+    W.all
+
 (* Properties *)
 
 let prop_sim_matches_interp_random_saxpy =
@@ -279,6 +360,7 @@ let () =
         [ Alcotest.test_case "cache stats" `Quick test_cache_stats;
           Alcotest.test_case "cycle limit" `Quick test_deadlock_detection;
           Alcotest.test_case "dma accounting" `Quick test_dma_accounting ] );
+      ("kernel-equivalence", equivalence_cases);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_sim_matches_interp_random_saxpy; prop_fib_matches ] ) ]
