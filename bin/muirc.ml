@@ -2,6 +2,7 @@
 
      muirc ir       prog.mc            print the compiler IR
      muirc graph    prog.mc            print the μIR circuit
+     muirc check    prog.mc [-O pass]  static analysis (deadlock, races)
      muirc chisel   prog.mc [-o f]     emit Chisel for the accelerator
      muirc simulate prog.mc [-O pass]  cycle-accurate simulation
      muirc synth    prog.mc [-O pass]  FPGA/ASIC synthesis estimates
@@ -137,6 +138,27 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Render the μIR circuit as a Graphviz digraph.")
     Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out)
 
+let check_cmd =
+  let run path passes unroll =
+    handle_frontend (fun () ->
+        let _, c = optimized_circuit ~unroll path passes in
+        let diags = Muir_analysis.Check.circuit c in
+        List.iter (fun d -> Fmt.pr "%a@." Muir_analysis.Diag.pp d) diags;
+        let nerr = List.length (Muir_analysis.Diag.errors diags) in
+        let nwarn = List.length diags - nerr in
+        if diags = [] then Fmt.pr "no findings@."
+        else Fmt.pr "%d error(s), %d warning(s)@." nerr nwarn;
+        if nerr > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the static analyses on a program's circuit: deadlock and \
+          starvation on the dataflow graph, buffer-sizing imbalance, and \
+          parallel-race detection on the spawn structure.  Exits non-zero \
+          if any error-severity diagnostic is found.")
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
+
 let chisel_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT")
@@ -243,7 +265,7 @@ let main =
        ~doc:
          "μIR: an intermediate representation for transforming and \
           optimizing the microarchitecture of application accelerators.")
-    [ ir_cmd; graph_cmd; dot_cmd; chisel_cmd; simulate_cmd; synth_cmd;
-      workload_cmd ]
+    [ ir_cmd; graph_cmd; check_cmd; dot_cmd; chisel_cmd; simulate_cmd;
+      synth_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

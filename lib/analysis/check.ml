@@ -1,0 +1,31 @@
+(** Entry points combining the analyses over a circuit.
+
+    [circuit] runs everything relevant to a lowered design: the
+    liveness/deadlock/buffer checks on the graph itself plus the race
+    analysis on the program the circuit implements (the graph carries
+    its source program, so parallel-task structure is recovered from
+    there).  [program] runs just the IR-level checks. *)
+
+module G = Muir_core.Graph
+
+let program (p : Muir_ir.Program.t) : Diag.t list =
+  Diag.sort (Races.check p)
+
+let circuit (c : G.circuit) : Diag.t list =
+  Diag.sort (Liveness.check c @ Races.check c.prog)
+
+(** Graph-only checks, cheap enough to run after every μopt pass. *)
+let circuit_liveness (c : G.circuit) : Diag.t list =
+  Diag.sort (Liveness.check c)
+
+let pp_report ppf (ds : Diag.t list) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Diag.pp) ds
+
+(** Raise [Invalid_argument] when any diagnostic is an error. *)
+let exn_on_errors ~(stage : string) (ds : Diag.t list) : unit =
+  match Diag.errors ds with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Fmt.str "%s: static analysis found %d error(s):@,%a" stage
+         (List.length errs) pp_report errs)

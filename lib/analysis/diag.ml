@@ -1,0 +1,54 @@
+(** Shared diagnostic type for the static analyses.
+
+    Every analysis (circuit liveness, buffer sizing, parallel races,
+    …) reports through this one record so drivers can sort, filter
+    and pretty-print uniformly.  [Error] means the input is broken —
+    the circuit will stall or the program has a provable race;
+    [Warning] means the analysis could not prove the property but the
+    input may still be fine. *)
+
+type severity = Error | Warning
+
+type t = {
+  sev : severity;
+  code : string;
+      (** stable machine-readable tag: ["deadlock"], ["starved"],
+          ["unreachable"], ["buffer"], ["race"], ["spawn-sync"] *)
+  where : string;  (** task or function the diagnostic refers to *)
+  msg : string;
+}
+
+let error ~code ~where fmt =
+  Fmt.kstr (fun msg -> { sev = Error; code; where; msg }) fmt
+
+let warning ~code ~where fmt =
+  Fmt.kstr (fun msg -> { sev = Warning; code; where; msg }) fmt
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let pp ppf (d : t) =
+  Fmt.pf ppf "%s: %s: [%s] %s"
+    (severity_to_string d.sev) d.where d.code d.msg
+
+let is_error (d : t) = d.sev = Error
+let errors (ds : t list) = List.filter is_error ds
+let has_errors (ds : t list) = List.exists is_error ds
+
+(** Errors first, then warnings; stable within a severity class. *)
+let sort (ds : t list) : t list =
+  let rank d = match d.sev with Error -> 0 | Warning -> 1 in
+  List.stable_sort (fun a b -> compare (rank a) (rank b)) ds
+
+(** Drop diagnostics that render identically (analyses over many
+    sibling pairs can derive the same fact repeatedly). *)
+let dedup (ds : t list) : t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let k = (d.sev, d.code, d.where, d.msg) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    ds

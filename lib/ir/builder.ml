@@ -10,10 +10,15 @@ type t = {
 }
 
 let create ~name ~params ~ret : t =
-  let func =
-    { Func.name; params; ret; blocks = []; loops = [];
-      next_reg = List.length params }
+  (* Parameters are bound to registers [0..n-1]; downstream code reads
+     the register off the param record rather than assuming this. *)
+  let params =
+    List.mapi (fun i (pname, pty) -> { Func.preg = i; pname; pty }) params
   in
+  let next_reg =
+    1 + List.fold_left (fun m (p : Func.param) -> max m p.preg) (-1) params
+  in
+  let func = { Func.name; params; ret; blocks = []; loops = []; next_reg } in
   { func; cur = None; next_label = 0 }
 
 let fresh_reg (b : t) =

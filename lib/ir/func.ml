@@ -10,6 +10,15 @@ type block = {
   mutable term : Instr.terminator;
 }
 
+(** A formal parameter.  The bound register is carried explicitly — the
+    front-end assigns [0..n-1], but nothing downstream may assume
+    contiguity (IR-level transforms are free to renumber). *)
+type param = {
+  preg : Instr.reg;
+  pname : string;
+  pty : ty;
+}
+
 type loop_info = {
   preheader : Instr.label;
   header : Instr.label;
@@ -23,12 +32,19 @@ type loop_info = {
 
 type t = {
   name : string;
-  params : (string * ty) list;  (** parameter [i] is bound to register [i] *)
+  params : param list;
   ret : ty;
   mutable blocks : block list;  (** entry first, otherwise topological-ish *)
   mutable loops : loop_info list;
   mutable next_reg : int;
 }
+
+let param_tys (f : t) : ty list = List.map (fun p -> p.pty) f.params
+let param_regs (f : t) : Instr.reg list = List.map (fun p -> p.preg) f.params
+
+(** The parameter bound to register [r], if any. *)
+let param_of_reg (f : t) (r : Instr.reg) : param option =
+  List.find_opt (fun p -> p.preg = r) f.params
 
 let entry (f : t) =
   match f.blocks with
@@ -87,7 +103,8 @@ let find_instr (f : t) (r : Instr.reg) =
 let pp ppf (f : t) =
   Fmt.pf ppf "@[<v>func @%s(%a) : %a {@,"
     f.name
-    Fmt.(list ~sep:comma (fun ppf (n, t) -> pf ppf "%s:%a" n pp_ty t))
+    Fmt.(list ~sep:comma
+           (fun ppf p -> pf ppf "%s:%a=%%%d" p.pname pp_ty p.pty p.preg))
     f.params pp_ty f.ret;
   List.iter
     (fun b ->

@@ -68,7 +68,12 @@ let trace ctx (i : Instr.t) addr =
 let rec run_func (ctx : ctx) (f : Func.t) (args : value list) : value =
   let ctx_fname = f.Func.name in
   let env = Array.make (max f.Func.next_reg 1) VUnit in
-  List.iteri (fun i v -> env.(i) <- v) args;
+  List.iteri
+    (fun i v ->
+      match List.nth_opt f.Func.params i with
+      | Some (p : Func.param) -> env.(p.preg) <- v
+      | None -> env.(i) <- v)
+    args;
   let resolve_op op =
     match op with
     | GlobalAddr g -> vint (Program.find_global ctx.prog g).gbase

@@ -25,7 +25,11 @@ let verify_func (p : Program.t option) (f : Func.t) : error list =
     f.blocks;
   (* Unique defs; build def-site map. *)
   let def_block : (reg, label) Hashtbl.t = Hashtbl.create 64 in
-  List.iteri (fun i (_, _) -> Hashtbl.replace def_block i (Func.entry f).label)
+  List.iter
+    (fun (p : Func.param) ->
+      if Hashtbl.mem def_block p.preg then
+        err f.name "parameter register %%%d bound twice" p.preg
+      else Hashtbl.replace def_block p.preg (Func.entry f).label)
     f.params;
   List.iter
     (fun (b : Func.block) ->
@@ -68,9 +72,9 @@ let verify_func (p : Program.t option) (f : Func.t) : error list =
       | None ->
         err (where_blk b) "use of undefined register %%%d" r
       | Some dl ->
-        (* Spawn results materialize at sync; the front-end guarantees
-           the use is after the matching sync, so plain dominance of
-           the def block suffices here as well. *)
+        (* Spawn results materialize at sync; the sync-separation of
+           every use is checked for real by [check_spawn_discipline]
+           below, so plain dominance of the def block suffices here. *)
         if not (Dom.dominates dom dl b.label) then
           err (where_blk b) "use of %%%d not dominated by its def (bb%d)" r dl);
       ignore u
@@ -116,6 +120,90 @@ let verify_func (p : Program.t option) (f : Func.t) : error list =
             err f.name "call to missing function %s" callee
         | _ -> ())
       f);
+  (* Spawn-result discipline.  A [Spawn]'s result register only
+     materializes at the next [Sync]; a use reachable from the spawn
+     without crossing a sync can observe an unmaterialized value.
+     Walk the CFG forward from each spawn, stopping at syncs; any use
+     of the result in the sync-free region is an error.  (This is the
+     dataflow check the builder and simulator rely on — it used to be
+     trusted to the front-end.) *)
+  let check_spawn_discipline (b0 : Func.block) (sp : Instr.t) =
+    let r = sp.id in
+    let reads_r ops =
+      List.exists (function Reg x -> x = r | _ -> false) ops
+    in
+    (* Scan straight-line instructions until a sync; report uses. *)
+    let rec scan blk (instrs : Instr.t list) =
+      match instrs with
+      | [] -> `Fallthrough
+      | (i : Instr.t) :: rest -> (
+        match i.kind with
+        | Sync -> `Synced
+        | Phi _ -> scan blk rest (* phi reads are checked edge-wise *)
+        | _ ->
+          if reads_r (operands i) then
+            err (where_blk blk)
+              "use of spawn result %%%d not separated from its spawn by sync"
+              r;
+          scan blk rest)
+    in
+    let term_check (blk : Func.block) =
+      let ops =
+        match blk.term with
+        | CondBr (c, _, _) -> [ c ]
+        | Ret (Some v) -> [ v ]
+        | _ -> []
+      in
+      if reads_r ops then
+        err (where_blk blk)
+          "use of spawn result %%%d not separated from its spawn by sync" r
+    in
+    let visited = Hashtbl.create 8 in
+    (* Enter block [l] sync-free via the CFG edge [pred -> l]. *)
+    let rec enter (pred : label) (l : label) =
+      let blk = Func.block f l in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Phi incoming -> (
+            match List.assoc_opt pred incoming with
+            | Some (Reg x) when x = r ->
+              err (where_blk blk)
+                "phi %%%d reads spawn result %%%d on a sync-free edge from \
+                 bb%d"
+                i.id r pred
+            | _ -> ())
+          | _ -> ())
+        blk.instrs;
+      if not (Hashtbl.mem visited l) then begin
+        Hashtbl.add visited l ();
+        match scan blk blk.instrs with
+        | `Synced -> ()
+        | `Fallthrough ->
+          term_check blk;
+          List.iter (enter l) (Func.successors blk)
+      end
+    in
+    let rec after = function
+      | [] -> []
+      | (i : Instr.t) :: rest -> if i == sp then rest else after rest
+    in
+    match scan b0 (after b0.instrs) with
+    | `Synced -> ()
+    | `Fallthrough ->
+      term_check b0;
+      List.iter (enter b0.label) (Func.successors b0)
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.kind with
+          | Spawn _ when not (Types.equal_ty i.ty Types.TUnit) ->
+            check_spawn_discipline b i
+          | _ -> ())
+        b.instrs)
+    f.blocks;
   (* Loop metadata consistent with the CFG. *)
   (match Loops.check_metadata f with
   | Ok () -> ()

@@ -45,7 +45,7 @@ type st = {
 
 let reg_types (f : F.t) : (I.reg, T.ty) Hashtbl.t =
   let h = Hashtbl.create 64 in
-  List.iteri (fun i (_, ty) -> Hashtbl.replace h i ty) f.params;
+  List.iter (fun (p : F.param) -> Hashtbl.replace h p.preg p.pty) f.params;
   F.iter_instrs (fun ins -> Hashtbl.replace h ins.I.id ins.I.ty) f;
   h
 
@@ -351,12 +351,11 @@ let stage1 (st : st) =
       in
       let ft =
         G.new_task ~tid:ftid ~tname:f.name ~tkind:G.Tfunc
-          ~arg_tys:(T.TBool :: List.map snd f.params)
+          ~arg_tys:(T.TBool :: F.param_tys f)
           ~res_tys
       in
       Hashtbl.replace st.func_task f.name ftid;
-      Hashtbl.replace st.livein_regs ftid
-        (List.mapi (fun i _ -> i) f.params);
+      Hashtbl.replace st.livein_regs ftid (F.param_regs f);
       Hashtbl.replace st.liveout_regs ftid [];
       st.tasks <- st.tasks @ [ ft ];
       (* One task per loop. *)
@@ -933,9 +932,11 @@ let build_func_task (st : st) (f : F.t) (gt : G.task) =
   in
   let entry_pred = (token.nid, 0) in
   List.iteri
-    (fun i (name, ty) ->
-      let n = G.add_node gt ~ty (LiveIn (i + 1)) ~nins:0 ~label:name in
-      Hashtbl.replace ctx.def i (n.nid, 0))
+    (fun i (p : F.param) ->
+      let n =
+        G.add_node gt ~ty:p.pty (LiveIn (i + 1)) ~nins:0 ~label:p.pname
+      in
+      Hashtbl.replace ctx.def p.preg (n.nid, 0))
     f.params;
   let region = region_blocks f None in
   let entry = (F.entry f).label in
@@ -943,7 +944,7 @@ let build_func_task (st : st) (f : F.t) (gt : G.task) =
   List.iter
     (fun l -> lower_block ctx ~region ~own_header:None ~entry_pred ~entry l)
     order;
-  add_memory_chains ctx ~own_vars:(List.mapi (fun i _ -> i) f.params);
+  add_memory_chains ctx ~own_vars:(F.param_regs f);
   emit_func_liveouts ctx ~entry_pred
 
 (** Build the dataflow of a loop task using the μ/steer loop schema. *)

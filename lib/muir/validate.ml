@@ -13,11 +13,24 @@ let validate_task (c : G.circuit) (t : G.task) : error list =
   let err fmt =
     Fmt.kstr (fun m -> errs := { vwhere = t.tname; vwhat = m } :: !errs) fmt
   in
-  let node_ids = List.map (fun (n : G.node) -> n.nid) t.nodes in
-  (* Unique node ids. *)
-  if List.length (List.sort_uniq compare node_ids) <> List.length node_ids
-  then err "duplicate node ids";
-  let find nid = List.find_opt (fun (n : G.node) -> n.nid = nid) t.nodes in
+  (* Unique node ids; index nodes by id while we're at it so the
+     per-edge endpoint checks below are O(1), not a list scan. *)
+  let by_id : (int, G.node) Hashtbl.t =
+    Hashtbl.create (List.length t.nodes)
+  in
+  List.iter
+    (fun (n : G.node) ->
+      if Hashtbl.mem by_id n.nid then err "duplicate node id n%d" n.nid
+      else Hashtbl.replace by_id n.nid n)
+    t.nodes;
+  (* Unique edge ids. *)
+  let eids = Hashtbl.create (List.length t.edges) in
+  List.iter
+    (fun (e : G.edge) ->
+      if Hashtbl.mem eids e.eid then err "duplicate edge id e%d" e.eid
+      else Hashtbl.replace eids e.eid ())
+    t.edges;
+  let find nid = Hashtbl.find_opt by_id nid in
   (* Edges reference live endpoints and in-range wired ports. *)
   let in_use = Hashtbl.create 64 in
   List.iter

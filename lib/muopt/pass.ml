@@ -26,14 +26,22 @@ type t = {
 
 (** Run passes in order, validating the circuit after each one.
     Raises [Invalid_argument] if a pass breaks a structural
-    invariant. *)
-let run_all (passes : t list) (c : G.circuit) : report list =
+    invariant.  With [~strict] the liveness analysis also runs after
+    every pass, so a rewrite that leaves the circuit structurally
+    valid but unable to make progress (a zero-token cycle, a starved
+    live-out) is caught at the pass that introduced it. *)
+let run_all ?(strict = false) (passes : t list) (c : G.circuit) :
+    report list =
   List.map
     (fun p ->
       let r = p.prun c in
       (try Muir_core.Validate.check_exn c
        with Invalid_argument m ->
          invalid_arg (Fmt.str "pass %s broke the circuit: %s" p.pname m));
+      if strict then
+        Muir_analysis.Check.exn_on_errors
+          ~stage:(Fmt.str "pass %s" p.pname)
+          (Muir_analysis.Check.circuit_liveness c);
       r)
     passes
 

@@ -1,0 +1,438 @@
+(* Tests for Muir_analysis: a corpus of deliberately broken inputs
+   that must each trigger its intended diagnostic, clean-run checks
+   over every bundled workload and pass stack, and the spawn-result /
+   parameter-register checks added to the IR verifier. *)
+
+open Muir_analysis
+module G = Muir_core.Graph
+module T = Muir_ir.Types
+module I = Muir_ir.Instr
+
+let compile = Muir_frontend.Frontend.compile
+
+let contains (s : string) (sub : string) : bool =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let has ~(sev : Diag.severity) ~(code : string) (ds : Diag.t list) =
+  List.exists (fun (d : Diag.t) -> d.sev = sev && d.code = code) ds
+
+let pp_all ds = String.concat "; " (List.map (Fmt.str "%a" Diag.pp) ds)
+
+(* ------------------------------------------------------------------ *)
+(* Broken corpus 1: zero-token cycle — guaranteed deadlock            *)
+
+let test_deadlock_cycle () =
+  let t =
+    G.new_task ~tid:0 ~tname:"dead" ~tkind:G.Tfunc ~arg_tys:[ T.TBool ]
+      ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0 in
+  let a = G.add_node t ~ty:T.i32 (G.Compute (G.Fibin I.Add)) ~nins:2 in
+  let b = G.add_node t ~ty:T.i32 (G.Compute G.Fident) ~nins:1 in
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(a.nid, 0));
+  ignore (G.connect t ~src:(a.nid, 0) ~dst:(b.nid, 0));
+  (* ring a -> b -> a with no initial token anywhere: never starts *)
+  ignore (G.connect t ~src:(b.nid, 0) ~dst:(a.nid, 1));
+  let ds = Liveness.check_task t in
+  Alcotest.(check bool)
+    (Fmt.str "deadlock reported (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Error ~code:"deadlock" ds)
+
+(* The same ring with one primed edge is a legal loop and must be
+   silent — the false-positive guard for every loop the builder
+   emits. *)
+let test_primed_ring_clean () =
+  let t =
+    G.new_task ~tid:0 ~tname:"ring" ~tkind:G.Tfunc ~arg_tys:[ T.TBool ]
+      ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0 in
+  let a = G.add_node t ~ty:T.i32 (G.Compute (G.Fibin I.Add)) ~nins:2 in
+  let b = G.add_node t ~ty:T.i32 (G.Compute G.Fident) ~nins:1 in
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(a.nid, 0));
+  ignore (G.connect t ~src:(a.nid, 0) ~dst:(b.nid, 0));
+  ignore
+    (G.connect t ~src:(b.nid, 0) ~dst:(a.nid, 1) ~initial:[ T.vint 0 ]);
+  let ds = Liveness.check_task t in
+  Alcotest.(check string) "no diagnostics" "" (pp_all ds)
+
+(* ------------------------------------------------------------------ *)
+(* Broken corpus 2: steer with an immediate predicate starves the     *)
+(* side a live-out depends on                                         *)
+
+let test_starved_liveout () =
+  let t =
+    G.new_task ~tid:0 ~tname:"starve" ~tkind:G.Tfunc ~arg_tys:[ T.TBool ]
+      ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0 in
+  let st = G.add_node t ~ty:T.TBool G.Steer ~nins:2 in
+  G.set_imm st 0 (T.VBool false);
+  let lo = G.add_node t ~ty:T.TBool (G.LiveOut 0) ~nins:1 in
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(st.nid, 1));
+  (* live-out hangs off the true side, but the predicate is always
+     false: every token is steered away *)
+  ignore (G.connect t ~src:(st.nid, 0) ~dst:(lo.nid, 0));
+  let ds = Liveness.check_task t in
+  Alcotest.(check bool)
+    (Fmt.str "starved live-out is an error (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Error ~code:"starved" ds)
+
+(* ------------------------------------------------------------------ *)
+(* Broken corpus 3: reconvergent fan-out with a deep registered path  *)
+(* against a capacity-1 shortcut                                      *)
+
+let test_buffer_imbalance () =
+  let t =
+    G.new_task ~tid:0 ~tname:"imbalance" ~tkind:G.Tfunc
+      ~arg_tys:[ T.TBool ] ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.i32 (G.LiveIn 0) ~nins:0 in
+  let chain =
+    List.fold_left
+      (fun prev _ ->
+        let n = G.add_node t ~ty:T.i32 (G.Compute G.Fident) ~nins:1 in
+        ignore (G.connect t ~capacity:1 ~src:(prev, 0) ~dst:(n.nid, 0));
+        n.nid)
+      li.nid [ 1; 2; 3 ]
+  in
+  let join = G.add_node t ~ty:T.i32 (G.Compute (G.Fibin I.Add)) ~nins:2 in
+  ignore (G.connect t ~capacity:1 ~src:(chain, 0) ~dst:(join.nid, 0));
+  ignore (G.connect t ~capacity:1 ~src:(li.nid, 0) ~dst:(join.nid, 1));
+  let ds = Liveness.check_task t in
+  Alcotest.(check bool)
+    (Fmt.str "imbalance warned (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Warning ~code:"buffer" ds);
+  Alcotest.(check bool) "no errors" false (Diag.has_errors ds)
+
+(* ------------------------------------------------------------------ *)
+(* Broken corpus 4: node no token can ever reach                      *)
+
+let test_unreachable_node () =
+  let t =
+    G.new_task ~tid:0 ~tname:"orphan" ~tkind:G.Tfunc ~arg_tys:[ T.TBool ]
+      ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0 in
+  let lo = G.add_node t ~ty:T.TBool (G.LiveOut 0) ~nins:1 in
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(lo.nid, 0));
+  let orphan = G.add_node t ~ty:T.i32 (G.Compute G.Fident) ~nins:1 in
+  ignore orphan;
+  let ds = Liveness.check_task t in
+  Alcotest.(check bool)
+    (Fmt.str "unreachable warned (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Warning ~code:"unreachable" ds);
+  Alcotest.(check bool) "no errors" false (Diag.has_errors ds)
+
+(* ------------------------------------------------------------------ *)
+(* Broken corpus 5: parallel_for iterations all read-modify-write the *)
+(* same cell — a provable race                                        *)
+
+let racy_src =
+  {|
+global int S[4]; global int X[16];
+func void main() {
+  parallel_for (int i = 0; i < 16; i = i + 1) {
+    S[0] = S[0] + X[i];
+  }
+  sync;
+}
+|}
+
+let test_definite_race () =
+  let ds = Races.check (compile racy_src) in
+  Alcotest.(check bool)
+    (Fmt.str "definite race is an error (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Error ~code:"race" ds)
+
+(* Broken corpus 6: indirection the analysis cannot see through — a
+   may-race warning, not an error. *)
+let indirect_src =
+  {|
+global int A[16]; global int IDX[16];
+func void main() {
+  parallel_for (int i = 0; i < 16; i = i + 1) {
+    A[IDX[i]] = i;
+  }
+  sync;
+}
+|}
+
+let test_maybe_race () =
+  let ds = Races.check (compile indirect_src) in
+  Alcotest.(check bool)
+    (Fmt.str "may-race warned (%s)" (pp_all ds))
+    true
+    (has ~sev:Diag.Warning ~code:"race" ds);
+  Alcotest.(check bool) "not an error" false (Diag.has_errors ds)
+
+(* Independent iterations must stay silent: the affine forms differ
+   by the induction variable with coefficient 1. *)
+let clean_par_src =
+  {|
+global float X[16]; global float Y[16];
+func void main() {
+  parallel_for (int i = 0; i < 16; i = i + 1) { Y[i] = X[i] + 1.0; }
+  sync;
+}
+|}
+
+let test_independent_iterations_clean () =
+  let ds = Races.check (compile clean_par_src) in
+  Alcotest.(check string) "no race diagnostics" "" (pp_all ds)
+
+(* ------------------------------------------------------------------ *)
+(* Spawn-result discipline (verifier)                                 *)
+
+let expect_compile_error ~(substr : string) (src : string) =
+  match compile src with
+  | exception Invalid_argument m ->
+    Alcotest.(check bool)
+      (Fmt.str "error mentions %S (got %S)" substr m)
+      true (contains m substr)
+  | _p -> Alcotest.fail "expected the front-end to reject this program"
+
+let test_spawn_use_before_sync () =
+  expect_compile_error ~substr:"spawn result"
+    {|
+global int OUT[1];
+func int work(int n) { return n + 1; }
+func int bad(int n) {
+  int a = spawn work(n);
+  return a;
+}
+func void main() { OUT[0] = bad(3); }
+|}
+
+let test_spawn_sync_missing_on_one_path () =
+  expect_compile_error ~substr:"spawn result"
+    {|
+global int OUT[1];
+func int work(int n) { return n + 1; }
+func int bad(int n) {
+  int a = spawn work(n);
+  if (n > 0) { sync; return a; }
+  return a;
+}
+func void main() { OUT[0] = bad(3); }
+|}
+
+let test_spawn_synced_use_ok () =
+  let p =
+    compile
+      {|
+global int OUT[1];
+func int work(int n) { return n + 1; }
+func int good(int n) {
+  int a = spawn work(n);
+  int b = spawn work(n + 1);
+  sync;
+  return a + b;
+}
+func void main() { OUT[0] = good(3); }
+|}
+  in
+  Alcotest.(check int) "verifies" 0
+    (List.length (Muir_ir.Verify.verify p))
+
+(* A phi that reads the spawn result along a sync-free edge, built
+   directly on the IR (the front-end never emits this shape). *)
+let test_spawn_phi_edge () =
+  let open Muir_ir in
+  let mk_worker () =
+    let b = Builder.create ~name:"work" ~params:[ ("n", T.i32) ] ~ret:T.i32 in
+    let e = Builder.new_block b in
+    Builder.position_at b e;
+    Builder.set_term b (Instr.Ret (Some (Instr.Reg 0)));
+    Builder.finish b
+  in
+  let b = Builder.create ~name:"bad" ~params:[ ("n", T.i32) ] ~ret:T.i32 in
+  let e = Builder.new_block b in
+  Builder.position_at b e;
+  let sp =
+    Builder.add b ~ty:T.i32
+      (Instr.Spawn { callee = "work"; args = [ Instr.Reg 0 ] })
+  in
+  let merge = Builder.new_block b in
+  Builder.position_at b e;
+  Builder.set_term b (Instr.Br merge);
+  let ph = Builder.add_phi b merge ~ty:T.i32 [ (e, sp) ] in
+  Builder.position_at b merge;
+  Builder.set_term b (Instr.Ret (Some ph));
+  let f = Builder.finish b in
+  let p = { Program.globals = []; funcs = [ f; mk_worker () ] } in
+  let errs = Verify.verify p in
+  Alcotest.(check bool)
+    (Fmt.str "phi use rejected (%s)"
+       (String.concat "; " (List.map (Fmt.str "%a" Verify.pp_error) errs)))
+    true
+    (List.exists
+       (fun (e : Verify.error) ->
+         contains e.what "spawn result" && contains e.what "phi")
+       errs)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter registers need not be contiguous                         *)
+
+let test_noncontiguous_param_regs () =
+  let open Muir_ir in
+  let f =
+    {
+      Func.name = "f";
+      params =
+        [ { Func.preg = 5; pname = "x"; pty = T.i32 };
+          { Func.preg = 9; pname = "y"; pty = T.i32 } ];
+      ret = T.i32;
+      blocks =
+        [ { Func.label = 0;
+            instrs =
+              [ { Instr.id = 10; ty = T.i32;
+                  kind = Instr.Bin (Instr.Add, Instr.Reg 5, Instr.Reg 9) } ];
+            term = Instr.Ret (Some (Instr.Reg 10)) } ];
+      loops = [];
+      next_reg = 11;
+    }
+  in
+  let p = { Program.globals = []; funcs = [ f ] } in
+  Alcotest.(check int) "verifies" 0 (List.length (Verify.verify p));
+  let v, _, _ = Interp.run ~entry:"f" ~args:[ T.vint 40; T.vint 2 ] p in
+  match v with
+  | T.VInt x -> Alcotest.(check int) "result" 42 (Int64.to_int x)
+  | _ -> Alcotest.fail "expected an int result"
+
+let test_duplicate_param_reg_rejected () =
+  let open Muir_ir in
+  let f =
+    {
+      Func.name = "f";
+      params =
+        [ { Func.preg = 0; pname = "x"; pty = T.i32 };
+          { Func.preg = 0; pname = "y"; pty = T.i32 } ];
+      ret = T.i32;
+      blocks =
+        [ { Func.label = 0; instrs = [];
+            term = Instr.Ret (Some (Instr.Reg 0)) } ];
+      loops = [];
+      next_reg = 1;
+    }
+  in
+  let p = { Program.globals = []; funcs = [ f ] } in
+  Alcotest.(check bool) "rejected" true
+    (List.exists
+       (fun (e : Verify.error) -> contains e.what "bound twice")
+       (Verify.verify p))
+
+(* ------------------------------------------------------------------ *)
+(* Validate: duplicate node and edge ids                              *)
+
+let test_validate_duplicate_ids () =
+  let t =
+    G.new_task ~tid:0 ~tname:"dup" ~tkind:G.Tfunc ~arg_tys:[ T.TBool ]
+      ~res_tys:[ T.TBool ]
+  in
+  let li = G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0 in
+  let lo = G.add_node t ~ty:T.TBool (G.LiveOut 0) ~nins:1 in
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(lo.nid, 0));
+  t.next_eid <- 0;
+  ignore (G.connect t ~src:(li.nid, 0) ~dst:(lo.nid, 0));
+  t.next_nid <- li.nid;
+  ignore (G.add_node t ~ty:T.TBool (G.LiveIn 0) ~nins:0);
+  let c =
+    {
+      G.cname = "dup";
+      tasks = [ t ];
+      root = 0;
+      structures =
+        [ { G.sid = 0; sname = "mem";
+            shape =
+              G.Scratchpad
+                { banks = 1; ports_per_bank = 1; latency = 1;
+                  width_words = 1; wb_buffer = false } } ];
+      space_map = [ (0, 0) ];
+      junction_width = [];
+      prog = { Muir_ir.Program.globals = []; funcs = [] };
+    }
+  in
+  let rendered =
+    String.concat "; "
+      (List.map
+         (Fmt.str "%a" Muir_core.Validate.pp_error)
+         (Muir_core.Validate.validate c))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "duplicate edge id caught (%s)" rendered)
+    true
+    (contains rendered "duplicate edge id");
+  Alcotest.(check bool)
+    (Fmt.str "duplicate node id caught (%s)" rendered)
+    true
+    (contains rendered "duplicate node id")
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs: every bundled workload under every bundled stack must  *)
+(* produce zero error-severity diagnostics, and strict pass running   *)
+(* must not raise                                                     *)
+
+let bundled_stacks () =
+  [ ("bare", []);
+    ("cilk-stack", Muir_opt.Stacks.cilk_stack ());
+    ("loop-stack", Muir_opt.Stacks.loop_stack ());
+    ("best", Muir_opt.Stacks.best_loop_stack ());
+    ("tensor-stack", Muir_opt.Stacks.tensor_stack ()) ]
+
+let test_workloads_clean () =
+  List.iter
+    (fun (w : Muir_workloads.Workloads.t) ->
+      List.iter
+        (fun (sname, passes) ->
+          let p = Muir_workloads.Workloads.program w in
+          let c = Muir_core.Build.circuit ~name:w.wname p in
+          let _reports = Muir_opt.Pass.run_all ~strict:true passes c in
+          let errs = Diag.errors (Check.circuit c) in
+          Alcotest.(check string)
+            (Fmt.str "%s under %s" w.wname sname)
+            "" (pp_all errs))
+        (bundled_stacks ()))
+    Muir_workloads.Workloads.all
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "liveness",
+        [ Alcotest.test_case "zero-token cycle" `Quick test_deadlock_cycle;
+          Alcotest.test_case "primed ring clean" `Quick
+            test_primed_ring_clean;
+          Alcotest.test_case "starved live-out" `Quick test_starved_liveout;
+          Alcotest.test_case "buffer imbalance" `Quick test_buffer_imbalance;
+          Alcotest.test_case "unreachable node" `Quick test_unreachable_node
+        ] );
+      ( "races",
+        [ Alcotest.test_case "definite race" `Quick test_definite_race;
+          Alcotest.test_case "may race" `Quick test_maybe_race;
+          Alcotest.test_case "independent iterations" `Quick
+            test_independent_iterations_clean ] );
+      ( "spawn-discipline",
+        [ Alcotest.test_case "use before sync" `Quick
+            test_spawn_use_before_sync;
+          Alcotest.test_case "sync missing on one path" `Quick
+            test_spawn_sync_missing_on_one_path;
+          Alcotest.test_case "synced use ok" `Quick test_spawn_synced_use_ok;
+          Alcotest.test_case "phi on sync-free edge" `Quick
+            test_spawn_phi_edge ] );
+      ( "params",
+        [ Alcotest.test_case "non-contiguous registers" `Quick
+            test_noncontiguous_param_regs;
+          Alcotest.test_case "duplicate register rejected" `Quick
+            test_duplicate_param_reg_rejected ] );
+      ( "validate",
+        [ Alcotest.test_case "duplicate ids" `Quick
+            test_validate_duplicate_ids ] );
+      ( "workloads",
+        [ Alcotest.test_case "all stacks clean" `Quick test_workloads_clean ]
+      ) ]
