@@ -5,6 +5,7 @@
      muirc check    prog.mc [-O pass]  static analysis (deadlock, races)
      muirc chisel   prog.mc [-o f]     emit Chisel for the accelerator
      muirc simulate prog.mc [-O pass]  cycle-accurate simulation
+     muirc profile  prog.mc [-O pass]  traced simulation + stall report
      muirc synth    prog.mc [-O pass]  FPGA/ASIC synthesis estimates
      muirc workload name [-O pass]     same, for a bundled benchmark
 
@@ -118,25 +119,43 @@ let graph_cmd =
   Cmd.v (Cmd.info "graph" ~doc:"Print the μIR circuit graph.")
     Term.(const run $ file_arg $ passes_arg $ unroll_arg)
 
+let write_file f s =
+  let oc = open_out f in
+  output_string oc s;
+  close_out oc;
+  Fmt.pr "wrote %s@." f
+
 let dot_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT")
   in
-  let run path passes unroll out =
+  let prof_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Simulate first and overlay the profile: nodes colored by \
+             fire count and annotated with their dominant stall cause.")
+  in
+  let run path passes unroll out profile =
     handle_frontend (fun () ->
         let _, c = optimized_circuit ~unroll path passes in
-        let dot = Muir_core.Dot.render c in
+        let heat =
+          if not profile then None
+          else begin
+            let tracer = Muir_trace.Trace.create () in
+            ignore (Muir_sim.Sim.run ~tracer c);
+            Some (Muir_trace.Profile.heat (Muir_trace.Profile.of_trace c tracer))
+          end
+        in
+        let dot = Muir_core.Dot.render ?heat c in
         match out with
         | None -> print_string dot
-        | Some f ->
-          let oc = open_out f in
-          output_string oc dot;
-          close_out oc;
-          Fmt.pr "wrote %s@." f)
+        | Some f -> write_file f dot)
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Render the μIR circuit as a Graphviz digraph.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out)
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out $ prof_flag)
 
 let check_cmd =
   let run path passes unroll =
@@ -212,6 +231,73 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of the accelerator.")
     Term.(const run $ file_arg $ passes_arg $ unroll_arg)
 
+let profile_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE|WORKLOAD"
+          ~doc:"A .mc source file, or the name of a bundled workload.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per report section.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"OUT"
+          ~doc:
+            "Write the retained event window as Chrome trace JSON (open \
+             in chrome://tracing or Perfetto).")
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"OUT"
+          ~doc:"Write the retained event window as a VCD waveform dump.")
+  in
+  let run target passes unroll top chrome vcd =
+    handle_frontend (fun () ->
+        let c =
+          if Sys.file_exists target then
+            snd (optimized_circuit ~unroll target passes)
+          else begin
+            let w = Muir_workloads.Workloads.find target in
+            let p = Muir_workloads.Workloads.program w in
+            let c = Muir_core.Build.circuit ~name:w.wname p in
+            let _ = Muir_opt.Pass.run_all (List.concat passes) c in
+            c
+          end
+        in
+        let tracer = Muir_trace.Trace.create () in
+        let r = Muir_sim.Sim.run ~tracer c in
+        let prof = Muir_trace.Profile.of_trace c tracer in
+        Muir_trace.Profile.report ~top Fmt.stdout prof;
+        Fmt.pr "@.total cycles      %d (%d fires)@." r.stats.total_cycles
+          r.stats.fires;
+        Option.iter
+          (fun f -> write_file f (Muir_trace.Export.chrome c tracer))
+          chrome;
+        Option.iter
+          (fun f -> write_file f (Muir_trace.Export.vcd c tracer))
+          vcd)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate with cycle-level tracing and print the bottleneck \
+          report: top stalled nodes with their dominant cause, stall \
+          cycles attributed to memory structures and task queues (with \
+          the μopt pass that widens each), the critical path over the \
+          fire-event DAG, and queue-occupancy histograms.")
+    Term.(
+      const run $ target_arg $ passes_arg $ unroll_arg $ top_arg
+      $ chrome_arg $ vcd_arg)
+
 let synth_cmd =
   let run path passes =
     handle_frontend (fun () ->
@@ -266,6 +352,6 @@ let main =
          "μIR: an intermediate representation for transforming and \
           optimizing the microarchitecture of application accelerators.")
     [ ir_cmd; graph_cmd; check_cmd; dot_cmd; chisel_cmd; simulate_cmd;
-      synth_cmd; workload_cmd ]
+      profile_cmd; synth_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -26,6 +26,15 @@ let node_color (n : G.node) : string =
   | G.LiveIn _ | G.LiveOut _ -> "palegreen"
   | _ -> "white"
 
+(** A profile-driven overlay (built by [Muir_trace.Profile.heat]):
+    [h_node] returns a fill color plus an annotation line for a node,
+    [h_edge] a color for every edge leaving it.  [None] keeps the
+    static styling. *)
+type heat = {
+  h_node : G.task_id -> G.node_id -> (string * string) option;
+  h_edge : G.task_id -> G.node_id -> string option;
+}
+
 let escape s =
   String.concat ""
     (List.map
@@ -37,7 +46,7 @@ let escape s =
        (List.init (String.length s) (String.get s)))
 
 (** Render [c] as a Graphviz digraph. *)
-let render (c : G.circuit) : string =
+let render ?heat (c : G.circuit) : string =
   let buf = Buffer.create 4096 in
   let p fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   p "digraph \"%s\" {" (escape c.cname);
@@ -57,11 +66,21 @@ let render (c : G.circuit) : string =
       p "    color=gray60; style=rounded;";
       List.iter
         (fun (n : G.node) ->
-          p "    t%d_n%d [label=\"%s%s\", shape=%s, fillcolor=%s];" t.tid
+          let overlay =
+            match heat with
+            | Some h -> h.h_node t.tid n.nid
+            | None -> None
+          in
+          let fill, note =
+            match overlay with
+            | Some (color, note) -> (Fmt.str "\"%s\"" color, "\\n" ^ escape note)
+            | None -> (node_color n, "")
+          in
+          p "    t%d_n%d [label=\"%s%s%s\", shape=%s, fillcolor=%s];" t.tid
             n.nid
             (escape (G.kind_to_string n.kind))
             (if n.label = "" then "" else "\\n" ^ escape n.label)
-            (node_shape n) (node_color n))
+            note (node_shape n) fill)
         t.nodes;
       List.iter
         (fun (e : G.edge) ->
@@ -74,9 +93,14 @@ let render (c : G.circuit) : string =
                    (if e.capacity > 2 then
                       Fmt.str "penwidth=2,taillabel=\"%d\"" e.capacity
                     else "");
-                   (match e.ekind with
-                   | G.Comb -> "color=red"
-                   | G.Registered -> "") ])
+                   (match
+                      Option.bind heat (fun h -> h.h_edge t.tid (fst e.src))
+                    with
+                   | Some color -> Fmt.str "color=\"%s\"" color
+                   | None -> (
+                     match e.ekind with
+                     | G.Comb -> "color=red"
+                     | G.Registered -> "")) ])
           in
           p "    t%d_n%d -> t%d_n%d [%s];" t.tid (fst e.src) t.tid
             (fst e.dst) attrs)

@@ -1,4 +1,14 @@
 (** Graphviz export of μIR circuits, one cluster per task block. *)
 
-val render : Graph.circuit -> string
-(** Render as a Graphviz digraph (pipe through [dot -Tsvg]). *)
+type heat = {
+  h_node : Graph.task_id -> Graph.node_id -> (string * string) option;
+      (** fill color and annotation line; [None] keeps static styling *)
+  h_edge : Graph.task_id -> Graph.node_id -> string option;
+      (** color for edges leaving the node *)
+}
+(** A profile-driven overlay, built by [Muir_trace.Profile.heat]. *)
+
+val render : ?heat:heat -> Graph.circuit -> string
+(** Render as a Graphviz digraph (pipe through [dot -Tsvg]).  With
+    [?heat], nodes are recolored by fire count and annotated with
+    their dominant stall cause. *)

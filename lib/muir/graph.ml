@@ -315,6 +315,30 @@ let memory_nodes (t : task) = List.filter is_memory_node t.nodes
 let iter_tasks f (c : circuit) = List.iter f c.tasks
 
 (* ------------------------------------------------------------------ *)
+(* Node -> structure attribution                                       *)
+
+(** The hardware structure a node's stalls are charged against: the
+    memory structure serving its address space, or the invocation
+    queue of the child task it calls/spawns.  The mapping is stable
+    across μopt passes — a pass that rebinds a space or re-parents a
+    call moves the attribution with it — which is what lets a profile
+    name the structure whose widening would remove a bottleneck. *)
+type struct_ref = Rstruct of struct_id | Rqueue of task_id
+
+let node_structure (c : circuit) (n : node) : struct_ref option =
+  match n.kind with
+  | Load _ | Store _ | Tload _ | Tstore _ -> (
+    match node_space n with
+    | Some sp -> Some (Rstruct (structure_of_space c sp).sid)
+    | None -> None)
+  | CallChild t | SpawnChild t -> Some (Rqueue t)
+  | _ -> None
+
+let struct_ref_name (c : circuit) : struct_ref -> string = function
+  | Rstruct sid -> (structure c sid).sname
+  | Rqueue tid -> "queue:" ^ (task c tid).tname
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
 let fu_op_to_string = function

@@ -299,6 +299,15 @@ type struct_stats = {
   ss_misses : int;
 }
 
+(** Queued sub-requests per structure right now, summed over its
+    banks — the occupancy signal the tracer samples each cycle. *)
+let occupancy (ms : t) : (G.struct_id * int) list =
+  List.map
+    (fun (sid, rt) ->
+      ( sid,
+        Array.fold_left (fun acc b -> acc + Queue.length b.bq) 0 rt.banks ))
+    ms.structs
+
 let stats (ms : t) : struct_stats list =
   List.map
     (fun (_, rt) ->

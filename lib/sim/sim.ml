@@ -52,6 +52,7 @@ module Cost = Muir_core.Cost
 module T = Muir_ir.Types
 module I = Muir_ir.Instr
 module E = Muir_ir.Eval
+module Tr = Muir_trace.Trace
 
 type token = T.value
 
@@ -159,6 +160,7 @@ and instance = {
   mutable i_qemit : bool;
   mutable i_qcomplete : bool;
   mutable i_qjunction : bool;
+  i_prof : Tr.Prof.iprof option;  (** stall accounting, when tracing *)
 }
 
 type task_rt = {
@@ -237,6 +239,7 @@ type t = {
   mutable woken : int;            (** total fire-phase attempts, stats *)
   mutable live_nodes : int;       (** nodes across live instances *)
   mutable node_cycles : int;      (** Σ live_nodes per cycle, stats *)
+  tr : Tr.t option;               (** event sink; [None] = tracing off *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -433,7 +436,12 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
       next_wave = 0; live = true; idynamic = dynamic; ipipe_loop; iprime;
       junction = Queue.create (); isyncs; i_fire_nodes = [];
       i_emit_nodes = []; i_qfire = false; i_qemit = false;
-      i_qcomplete = false; i_qjunction = false }
+      i_qcomplete = false; i_qjunction = false;
+      i_prof =
+        Option.map
+          (fun _ ->
+            Tr.Prof.make ~born:sim.now ~nnodes:(Array.length nodes))
+          sim.tr }
   in
   (* Back-pointers so channel events can wake producer/consumer. *)
   List.iter
@@ -453,7 +461,7 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
   Array.iter (fun n -> wake_fire sim inst n) nodes;
   inst
 
-let create (c : G.circuit) : t =
+let create ?tracer (c : G.circuit) : t =
   Muir_core.Validate.check_exn c;
   let mem = Muir_ir.Memory.create c.prog in
   let ms = Memsys.create c mem in
@@ -475,7 +483,7 @@ let create (c : G.circuit) : t =
       junction_width =
         Array.init n (fun tid -> G.junction_width c tid);
       max_outstanding = 8; timed = Hashtbl.create 64; dirty_fifos = [];
-      woken = 0; live_nodes = 0; node_cycles = 0 }
+      woken = 0; live_nodes = 0; node_cycles = 0; tr = tracer }
   in
   (* Static instances for non-dynamic tasks: one per tile. *)
   Array.iter
@@ -670,6 +678,24 @@ let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
         let res = Array.map Option.get iv.iv_liveouts in
         deliver_reply sim iv.iv_reply res)
       complete;
+    (match sim.tr, inst.i_prof with
+    | Some tr, Some ip when inst.i_count = 0 ->
+      (* Invocation drained: every node is idle from the next cycle.
+         A retiring dynamic instance also folds its accounting into
+         the whole-run aggregates here, before it disappears. *)
+      Array.iter
+        (fun np ->
+          ignore
+            (Tr.Prof.transition np (Tr.cause_index Tr.Idle) (sim.now + 1)))
+        ip.nprofs;
+      if inst.idynamic then
+        Array.iteri
+          (fun i np ->
+            let n = inst.inodes.(i) in
+            Tr.fold tr ~task:inst.it.tid ~node:n.nr.nid ~fires:n.nr_fired
+              ~born:ip.born ~upto:(sim.now + 1) np)
+          ip.nprofs
+    | _ -> ());
     if inst.idynamic && inst.i_count = 0 then begin
       inst.live <- false;
       sim.live_nodes <- sim.live_nodes - Array.length inst.inodes;
@@ -979,10 +1005,81 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
         | G.LiveIn _ | G.MergeLoop -> assert false
       end
 
+(* ------------------------------------------------------------------ *)
+(* Stall classification (tracing only)                                  *)
+
+(* Why did this woken node fail to fire?  Mirrors [try_fire]'s failure
+   paths; a failed attempt has no side effects, so re-inspecting the
+   state after the attempt is exact. *)
+let stall_cause (sim : t) (n : node_rt) : Tr.cause =
+  if n.nr_busy_until > sim.now then Tr.Structural
+  else
+    match n.nr.kind with
+    | G.LiveIn _ -> Tr.Idle (* driven by injection, never stalled *)
+    | G.MergeLoop -> (
+      match peek_in n 0 with
+      | None -> Tr.Operand
+      | Some ctl ->
+        if peek_in n (if truthy ctl then 2 else 1) = None then Tr.Operand
+        else Tr.Backpressure)
+    | _ ->
+      if not (all_inputs_ready n) then Tr.Operand
+      else if Queue.length n.nr_pipe >= 4 && not (G.is_memory_node n.nr)
+      then Tr.Backpressure
+      else (
+        match n.nr.kind with
+        | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ -> Tr.Memory
+        | G.CallChild _ | G.SpawnChild _ -> Tr.Structural
+        | _ -> Tr.Operand)
+
+(* The label a node enters after firing at [sim.now], effective from
+   [sim.now + 1].  Any event that changes the node's state relabels it,
+   so this only has to be right for the state as left by the firing. *)
+let post_fire_cause (sim : t) (n : node_rt) : Tr.cause =
+  match n.nr.kind with
+  | G.SyncWait -> Tr.Sync
+  | _ ->
+    if not (ready_again n) then Tr.Operand
+    else if n.nr_busy_until > sim.now + 1 then Tr.Structural
+    else (
+      match n.nr.kind with
+      | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ ->
+        if Queue.length n.nr_mem >= sim.max_outstanding then Tr.Memory
+        else Tr.Busy
+      | _ ->
+        if Queue.length n.nr_pipe >= 4 then Tr.Backpressure else Tr.Busy)
+
 (** Fire attempt plus the event subscriptions a success implies. *)
 let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
     bool =
-  if try_fire sim trt inst n then begin
+  let fired = try_fire sim trt inst n in
+  (match sim.tr, inst.i_prof with
+  | Some tr, Some ip ->
+    let np = ip.nprofs.(n.nr_idx) in
+    if fired then begin
+      ignore (Tr.Prof.transition np (Tr.cause_index Tr.Busy) sim.now);
+      ignore
+        (Tr.Prof.transition np
+           (Tr.cause_index (post_fire_cause sim n))
+           (sim.now + 1));
+      Tr.emit tr
+        (Tr.Efire
+           { c = sim.now; task = inst.it.tid; inst = inst.iid;
+             node = n.nr.nid; lat = n.nr_cost.latency })
+    end
+    else begin
+      let cause = stall_cause sim n in
+      if
+        Tr.Prof.transition np (Tr.cause_index cause) sim.now
+        && cause <> Tr.Idle
+      then
+        Tr.emit tr
+          (Tr.Estall
+             { c = sim.now; task = inst.it.tid; inst = inst.iid;
+               node = n.nr.nid; cause })
+    end
+  | _ -> ());
+  if fired then begin
     sim.fires <- sim.fires + 1;
     sim.last_activity <- sim.now;
     (* The firing may have produced something to emit this very cycle
@@ -1134,7 +1231,18 @@ let take_emit_nodes (inst : instance) : node_rt list =
 
 let step (sim : t) : unit =
   let now = sim.now in
-  (* 0. timed wakes due this cycle *)
+  (* 0. timed wakes due this cycle; occupancy samples when tracing *)
+  (match sim.tr with
+  | Some tr when now mod tr.Tr.sample_every = 0 ->
+    Array.iter
+      (fun trt ->
+        Tr.occ_sample tr ~c:now (Tr.Ktask trt.tk.tid)
+          (Queue.length trt.tqueue))
+      sim.tasks;
+    List.iter
+      (fun (sid, depth) -> Tr.occ_sample tr ~c:now (Tr.Kstruct sid) depth)
+      (Memsys.occupancy sim.ms)
+  | _ -> ());
   drain_timed sim;
   (* 1. memory structures (completions notify waiting nodes) *)
   Memsys.step sim.ms ~now;
@@ -1412,11 +1520,14 @@ let diagnose (sim : t) : string =
   Buffer.contents buf
 
 (** Run the circuit's root task with [args] to completion.  Returns
-    the root's return value, the final memory, and statistics. *)
-let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
-    (c : G.circuit) : result =
+    the root's return value, the final memory, and statistics.
+    [?tracer] streams events and stall accounting into a
+    [Muir_trace.Trace.t]; tracing is strictly passive, so cycle counts
+    and all stats are identical with it on or off. *)
+let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
+    ?(deadlock_window = 50_000) (c : G.circuit) : result =
   let t_start = Unix.gettimeofday () in
-  let sim = create c in
+  let sim = create ?tracer c in
   let root = sim.tasks.(c.root) in
   let ctx = { live_children = 0; cx_owner = None; cx_waiters = [] } in
   Queue.add
@@ -1434,6 +1545,26 @@ let run ?(args = []) ?(max_cycles = 20_000_000) ?(deadlock_window = 50_000)
   (match sim.root_result with
   | None -> raise (Cycle_limit max_cycles)
   | Some _ -> ());
+  (* Close the books: fold every still-live instance's accounting. *)
+  (match sim.tr with
+  | Some tr ->
+    tr.Tr.final_cycle <- sim.now;
+    Array.iter
+      (fun trt ->
+        List.iter
+          (fun inst ->
+            match inst.i_prof with
+            | Some ip ->
+              Array.iteri
+                (fun i np ->
+                  let n = inst.inodes.(i) in
+                  Tr.fold tr ~task:inst.it.tid ~node:n.nr.nid
+                    ~fires:n.nr_fired ~born:ip.born ~upto:sim.now np)
+                ip.nprofs
+            | None -> ())
+          trt.tinstances)
+      sim.tasks
+  | None -> ());
   let res = Option.get sim.root_result in
   let value = if Array.length res > 1 then res.(1) else T.VBool true in
   let dma = dma_cycles c in

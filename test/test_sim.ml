@@ -281,14 +281,20 @@ let test_kernel_equivalence (w : W.t) () =
               (Muir_ir.Types.value_to_string b.(i)))
         a)
     w.outputs;
-  (* Determinism: a second run of the same circuit build must land on
-     exactly the same cycle count (no hidden hash/iteration-order
-     dependence in the worklists). *)
+  (* Determinism and tracing-neutrality in one shot: a second run of
+     the same circuit build — this time with the tracer attached —
+     must land on exactly the same cycle and fire counts.  Tracing is
+     strictly passive, and the worklists have no hidden
+     hash/iteration-order dependence. *)
   let c2 = Muir_core.Build.circuit ~name:w.wname p in
-  let r2 = Muir_sim.Sim.run c2 in
+  let tracer = Muir_trace.Trace.create () in
+  let r2 = Muir_sim.Sim.run ~tracer c2 in
   Alcotest.(check int)
-    (w.wname ^ ": deterministic across runs")
-    r.stats.total_cycles r2.stats.total_cycles
+    (w.wname ^ ": deterministic across runs (traced)")
+    r.stats.total_cycles r2.stats.total_cycles;
+  Alcotest.(check int)
+    (w.wname ^ ": fires unchanged by tracing")
+    r.stats.fires r2.stats.fires
 
 let equivalence_cases =
   List.map

@@ -1,0 +1,322 @@
+(* The observability subsystem's contract.
+
+   The load-bearing property is the conservation invariant: the stall
+   taxonomy partitions every node's lifetime exactly —
+
+     busy + Σ stall-cause cycles = lifetime cycles
+
+   for every node of every workload under every bundled μopt stack,
+   and the aggregates must not depend on the ring size (the ring loses
+   old events; the accounting must not).  On top of that: the
+   exporters must produce well-formed output (the Chrome trace is
+   checked with a real JSON parser), the critical path must fit inside
+   the run, and the profile must be actionable — the structure it
+   blames on GEMM loses its attributed stalls under the stack that
+   widens it. *)
+
+module W = Muir_workloads.Workloads
+module Tr = Muir_trace.Trace
+module P = Muir_trace.Profile
+module Ex = Muir_trace.Export
+
+let stacks : (string * (unit -> Muir_opt.Pass.t list)) list =
+  [ ("baseline", fun () -> []);
+    ("loop-stack", fun () -> Muir_opt.Stacks.loop_stack ());
+    ("cilk-stack", fun () -> Muir_opt.Stacks.cilk_stack ());
+    ("tensor-stack", fun () -> Muir_opt.Stacks.tensor_stack ()) ]
+
+let traced_run ?(capacity = 1 lsl 12) (w : W.t) (passes : Muir_opt.Pass.t list)
+    : Muir_core.Graph.circuit * Tr.t * Muir_sim.Sim.result =
+  let p = W.program w in
+  let c = Muir_core.Build.circuit ~name:w.wname p in
+  ignore (Muir_opt.Pass.run_all passes c);
+  (* A deliberately small ring: aggregates must be exact regardless of
+     how many events were overwritten. *)
+  let tracer = Tr.create ~capacity () in
+  let r = Muir_sim.Sim.run ~tracer c in
+  (c, tracer, r)
+
+let test_conservation (w : W.t) () =
+  List.iter
+    (fun (sname, mk) ->
+      let c, tracer, r = traced_run w (mk ()) in
+      let prof = P.of_trace c tracer in
+      Alcotest.(check bool)
+        (Fmt.str "%s/%s: profile has rows" w.wname sname)
+        true
+        (prof.p_rows <> []);
+      List.iter
+        (fun (row : P.row) ->
+          if not (P.conserved row) then
+            Alcotest.failf
+              "%s/%s: node %s n%d violates conservation: Σcauses=%d span=%d"
+              w.wname sname row.r_tname row.r_node
+              (Array.fold_left ( + ) 0 row.r_acc)
+              row.r_span)
+        prof.p_rows;
+      (* Every firing the kernel counted is attributed to some node. *)
+      let total_fires =
+        List.fold_left (fun acc (row : P.row) -> acc + row.r_fires) 0
+          prof.p_rows
+      in
+      Alcotest.(check int)
+        (Fmt.str "%s/%s: attributed fires == kernel fires" w.wname sname)
+        r.stats.fires total_fires)
+    stacks
+
+(* Aggregates must not depend on ring retention. *)
+let test_ring_independence () =
+  let w = W.find "gemm" in
+  let _, tr_small, _ = traced_run ~capacity:16 w [] in
+  let c, tr_big, _ = traced_run ~capacity:(1 lsl 20) w [] in
+  Alcotest.(check bool)
+    "small ring overwrote events" true
+    (Tr.retained_events tr_small < Tr.total_events tr_small);
+  Alcotest.(check int)
+    "same total events" (Tr.total_events tr_big)
+    (Tr.total_events tr_small);
+  let ps = P.of_trace c tr_small and pb = P.of_trace c tr_big in
+  List.iter2
+    (fun (a : P.row) (b : P.row) ->
+      Alcotest.(check int)
+        (Fmt.str "fires of %s n%d" a.r_tname a.r_node)
+        b.r_fires a.r_fires;
+      Alcotest.(check (array int))
+        (Fmt.str "causes of %s n%d" a.r_tname a.r_node)
+        b.r_acc a.r_acc)
+    ps.p_rows pb.p_rows
+
+(* ------------------------------------------------------------------ *)
+(* A small strict JSON parser — enough to prove the Chrome export is
+   well-formed without trusting the producer's own escaping. *)
+
+exception Bad_json of string
+
+let parse_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Fmt.str "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect ch =
+    match peek () with
+    | Some c when c = ch -> advance ()
+    | _ -> fail (Fmt.str "expected %c" ch)
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          parse_string ();
+          skip_ws ();
+          expect ':';
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ()
+      end
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected a value"
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_chrome_export () =
+  List.iter
+    (fun name ->
+      let w = W.find name in
+      let c, tracer, _ = traced_run ~capacity:(1 lsl 16) w [] in
+      let json = Ex.chrome c tracer in
+      (try parse_json json with
+      | Bad_json msg -> Alcotest.failf "%s: invalid Chrome JSON: %s" name msg);
+      Alcotest.(check bool)
+        (name ^ ": has traceEvents") true
+        (String.length json > 20
+        && String.sub json 0 15 = "{\"traceEvents\":"))
+    [ "saxpy"; "gemm"; "fib" ]
+
+let count_substring (hay : string) (needle : string) : int =
+  let nl = String.length needle in
+  let rec go from acc =
+    if from + nl > String.length hay then acc
+    else if String.sub hay from nl = needle then go (from + nl) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
+let test_vcd_export () =
+  let w = W.find "saxpy" in
+  let c, tracer, _ = traced_run ~capacity:(1 lsl 16) w [] in
+  let vcd = Ex.vcd c tracer in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        ("vcd contains " ^ needle)
+        true
+        (count_substring vcd needle > 0))
+    [ "$timescale"; "$enddefinitions"; "#0"; "$var wire 1" ];
+  Alcotest.(check int)
+    "balanced scopes"
+    (count_substring vcd "$scope module")
+    (count_substring vcd "$upscope")
+
+let test_critical_path () =
+  List.iter
+    (fun name ->
+      let w = W.find name in
+      let c, tracer, r = traced_run ~capacity:(1 lsl 18) w [] in
+      let prof = P.of_trace c tracer in
+      match prof.p_crit with
+      | None -> Alcotest.failf "%s: no critical path" name
+      | Some cr ->
+        Alcotest.(check bool)
+          (name ^ ": path has firings") true (cr.c_events > 0);
+        Alcotest.(check bool)
+          (name ^ ": path fits inside the run")
+          true
+          (cr.c_len >= 0 && cr.c_len <= r.stats.cycles);
+        List.iter
+          (fun (s : P.crit_step) ->
+            if s.cs_count <= 0 || s.cs_lat < 0 || s.cs_wait < 0 then
+              Alcotest.failf "%s: bad step for %s n%d" name s.cs_tname
+                s.cs_node)
+          cr.c_steps)
+    [ "gemm"; "saxpy"; "fib" ]
+
+(* The profile must be actionable: the task queue it blames on GEMM
+   stops stalling once the loop stack deepens/tiles it. *)
+let test_bottleneck_reduction () =
+  let w = W.find "gemm" in
+  let c0, tr0, _ = traced_run w [] in
+  let p0 = P.of_trace c0 tr0 in
+  let blamed =
+    match List.find_opt (fun (s : P.struct_row) -> s.s_stalls > 0) p0.p_structs with
+    | Some s -> s
+    | None -> Alcotest.fail "baseline gemm blames no structure"
+  in
+  let share0 = P.struct_share p0 blamed.s_name in
+  Alcotest.(check bool) "baseline share positive" true (share0 > 0.0);
+  let c1, tr1, _ = traced_run w (Muir_opt.Stacks.loop_stack ()) in
+  let p1 = P.of_trace c1 tr1 in
+  let share1 = P.struct_share p1 blamed.s_name in
+  if share1 >= share0 then
+    Alcotest.failf "loop stack did not reduce %s stall share: %.4f -> %.4f"
+      blamed.s_name share0 share1
+
+let conservation_cases =
+  List.map
+    (fun (w : W.t) ->
+      Alcotest.test_case w.wname `Quick (test_conservation w))
+    W.all
+
+let () =
+  Alcotest.run "trace"
+    [ ("conservation", conservation_cases);
+      ( "machinery",
+        [ Alcotest.test_case "ring independence" `Quick
+            test_ring_independence;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "vcd export" `Quick test_vcd_export;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "bottleneck reduction" `Quick
+            test_bottleneck_reduction ] ) ]
