@@ -566,6 +566,76 @@ let profile () =
       ("2mm[T]", "tensor-stack", fun () -> Opt.Stacks.tensor_stack ()) ]
 
 (* ------------------------------------------------------------------ *)
+(* Design-space exploration: the explorer vs the hand-picked stacks     *)
+
+let explore () =
+  header
+    "Design-space exploration: best-found configuration vs the best \
+     predefined stack (grid search, shared memo cache)";
+  let jobs = max 1 (min 4 (Domain.recommended_domain_count () - 1)) in
+  List.iter
+    (fun name ->
+      let w = W.find name in
+      let subject = Muir_dse.Explore.workload_subject w in
+      let cache = Muir_dse.Cache.create () in
+      (* Pass 1: just the predefined stacks, each at its own default
+         parameters — the configurations a user could have hand-picked. *)
+      let predef =
+        Muir_dse.Explore.run ~jobs ~cache
+          ~grid:(List.map Muir_dse.Config.predefined (Opt.Stacks.names ()))
+          subject
+      in
+      let pbest =
+        match predef.x_best with
+        | Some b -> b
+        | None -> failwith (name ^ ": no feasible predefined stack")
+      in
+      (* Pass 2: the full grid over the same cache — the predefined
+         points come back as cache hits, never re-simulated. *)
+      let full =
+        Muir_dse.Explore.run ~jobs ~budget_evals:128 ~cache subject
+      in
+      Fmt.pr "@.== %s@." name;
+      Muir_dse.Explore.pp_result Fmt.stdout full;
+      let fbest = Option.get full.x_best in
+      let cyc e = Option.get e.Muir_dse.Explore.e_cycles in
+      Fmt.pr "best predefined   %-28s %8d cycles %7d ALMs@."
+        (Muir_dse.Config.label pbest.e_cfg)
+        (cyc pbest) pbest.e_alms;
+      Fmt.pr "best found        %-28s %8d cycles %7d ALMs@."
+        (Muir_dse.Config.label fbest.e_cfg)
+        (cyc fbest) fbest.e_alms;
+      (* Acceptance: some explored point must match or beat the best
+         predefined stack on cycles at equal-or-lower modeled area. *)
+      let dominated =
+        List.exists
+          (fun e ->
+            cyc e <= cyc pbest && e.Muir_dse.Explore.e_alms <= pbest.e_alms)
+          full.x_frontier
+      in
+      if not dominated then begin
+        Fmt.epr
+          "%s: explorer found nothing at least as good as the best \
+           predefined stack@."
+          name;
+        exit 1
+      end;
+      (* Pass 3: re-exploration must be answered entirely from the
+         memo cache — zero fresh simulations. *)
+      let again =
+        Muir_dse.Explore.run ~jobs ~budget_evals:128 ~cache subject
+      in
+      if again.x_fresh_sims <> 0 || again.x_pruned <> 0 then begin
+        Fmt.epr "%s: re-exploration re-simulated %d configurations@." name
+          (again.x_fresh_sims + again.x_pruned);
+        exit 1
+      end;
+      Fmt.pr
+        "re-exploration    %d cache hits, 0 fresh simulations@."
+        again.x_cache_hits)
+    [ "gemm"; "fib"; "2mm" ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks (one per table/figure kernel)    *)
 
 let bechamel () =
@@ -647,6 +717,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ablation", ablation);
     ("kernel", kernel);
     ("profile", profile);
+    ("explore", explore);
     ("bechamel", bechamel) ]
 
 let () =
@@ -661,7 +732,7 @@ let () =
         ("fig17", fun () -> ignore (fig17 ()));
         ("fig18", fun () -> ignore (fig18 ()));
         ("table4", table4); ("ablation", ablation);
-        ("bechamel", bechamel) ]
+        ("explore", explore); ("bechamel", bechamel) ]
     else
       List.map
         (fun a ->

@@ -8,10 +8,12 @@
      muirc profile  prog.mc [-O pass]  traced simulation + stall report
      muirc synth    prog.mc [-O pass]  FPGA/ASIC synthesis estimates
      muirc workload name [-O pass]     same, for a bundled benchmark
+     muirc explore  name [--jobs N]    design-space exploration (Pareto)
 
-   Passes (-O, repeatable, applied in order):
+   Passes (-O, repeatable, applied in order): the individual passes
      fusion | queuing | tiling=N | localize | spad-bank=N | cache-bank=N
-     | tensor | loop-stack | cilk-stack | tensor-stack | best *)
+     | tensor, plus every named stack of Muir_opt.Stacks.registry —
+   the stack list in the help text derives from that registry. *)
 
 open Cmdliner
 
@@ -46,10 +48,10 @@ let parse_pass (s : string) : Muir_opt.Pass.t list option =
   | "queuing" -> Some [ Muir_opt.Structural.queuing_pass () ]
   | "localize" -> Some [ Muir_opt.Structural.localization_pass () ]
   | "tensor" -> Some [ Muir_opt.Tensor.pass ]
-  | "loop-stack" -> Some (Muir_opt.Stacks.loop_stack ())
-  | "cilk-stack" -> Some (Muir_opt.Stacks.cilk_stack ())
-  | "tensor-stack" -> Some (Muir_opt.Stacks.tensor_stack ())
-  | "best" -> Some (Muir_opt.Stacks.best_loop_stack ())
+  | _ when Muir_opt.Stacks.find_spec s <> None ->
+    (* named stacks come from the registry, at their own defaults *)
+    let spec = Option.get (Muir_opt.Stacks.find_spec s) in
+    Some (spec.sp_build spec.sp_defaults)
   | _ -> (
     match int_arg "tiling=" with
     | Some n -> Some [ Muir_opt.Structural.tiling_pass ~tiles:n () ]
@@ -80,14 +82,18 @@ let unroll_arg =
         ~doc:"Apply behaviour-level loop unrolling before building μIR.")
 
 let passes_arg =
+  (* The stack-name list derives from the registry, so a stack added
+     there is parsed and documented here with no further edits. *)
   Arg.(
     value
     & opt_all passes_conv []
     & info [ "O"; "pass" ] ~docv:"PASS"
         ~doc:
-          "μopt pass to apply (repeatable): fusion, queuing, tiling=N, \
-           localize, spad-bank=N, cache-bank=N, tensor, loop-stack, \
-           cilk-stack, tensor-stack, best.")
+          (Fmt.str
+             "μopt pass to apply (repeatable): fusion, queuing, tiling=N, \
+              localize, spad-bank=N, cache-bank=N, tensor, or a named \
+              stack: %s."
+             (String.concat ", " (Muir_opt.Stacks.names ()))))
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -298,6 +304,97 @@ let profile_cmd =
       const run $ target_arg $ passes_arg $ unroll_arg $ top_arg
       $ chrome_arg $ vcd_arg)
 
+let explore_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE|WORKLOAD"
+          ~doc:"A .mc source file, or the name of a bundled workload.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "budget-evals" ] ~docv:"N"
+          ~doc:"Evaluate at most $(docv) fresh configurations.")
+  in
+  let area_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "area-budget" ] ~docv:"ALMS"
+          ~doc:
+            "Prune configurations whose modeled FPGA area exceeds \
+             $(docv) ALMs before they reach the simulator.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Evaluate configurations on $(docv) parallel domains.  The \
+             frontier is identical for every value.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:"Write every evaluation and the frontier as JSON.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed of the greedy search's diversification step.")
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "grid"
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Search strategy: $(b,grid) (exhaustive sweep) or \
+             $(b,greedy) (profiler-guided hill climb).")
+  in
+  let run target budget area jobs json seed strat =
+    handle_frontend (fun () ->
+        let subject =
+          if Sys.file_exists target then
+            Muir_dse.Explore.source_subject
+              ~name:(Filename.remove_extension (Filename.basename target))
+              (read_file target)
+          else
+            Muir_dse.Explore.workload_subject
+              (Muir_workloads.Workloads.find target)
+        in
+        let strategy =
+          match Muir_dse.Explore.strategy_of_string strat with
+          | Some s -> s
+          | None ->
+            Fmt.epr "unknown strategy %S (have: grid, greedy)@." strat;
+            exit 1
+        in
+        let t =
+          Muir_dse.Explore.run ~strategy ~jobs ~budget_evals:budget
+            ?area_budget:area ~seed subject
+        in
+        Muir_dse.Explore.pp_result Fmt.stdout t;
+        Option.iter
+          (fun f -> write_file f (Muir_dse.Explore.to_json t))
+          json)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Design-space exploration: enumerate μopt stacks × tiling \
+          width × banking (× per-pass on/off), evaluate each with the \
+          cycle-accurate simulator and the synthesis models on a \
+          parallel domain pool with a content-keyed memo cache, and \
+          print the cycles-vs-area Pareto frontier.")
+    Term.(
+      const run $ target_arg $ budget_arg $ area_arg $ jobs_arg
+      $ json_arg $ seed_arg $ strategy_arg)
+
 let synth_cmd =
   let run path passes =
     handle_frontend (fun () ->
@@ -352,6 +449,6 @@ let main =
          "μIR: an intermediate representation for transforming and \
           optimizing the microarchitecture of application accelerators.")
     [ ir_cmd; graph_cmd; check_cmd; dot_cmd; chisel_cmd; simulate_cmd;
-      profile_cmd; synth_cmd; workload_cmd ]
+      profile_cmd; explore_cmd; synth_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,408 @@
+(** The design-space explorer: enumerate μopt configurations
+    ({!Config.t}), evaluate each one with the cycle-level simulator
+    (performance) and the synthesis models (cost), and report the
+    cycles-vs-area Pareto frontier.
+
+    Evaluation is memoized through a content-keyed {!Cache} and fanned
+    out over a {!Pool} of domains; because the cache is consulted and
+    filled only by the coordinating domain and the pool merges results
+    by input index, the explorer's output is identical for every
+    [--jobs] value.
+
+    Two search strategies:
+    - {e grid} — exhaustive sweep of a finite space (the default space
+      covers every registry stack × tiles × banks × op-fusion on/off,
+      and always contains each predefined stack at its own defaults);
+    - {e greedy} — profiler-guided hill climb: seeds every stack at
+      minimal parameters, simulates with tracing on, and widens the
+      parameter behind the dominant stall ({!Muir_trace.Profile}
+      attribution: task-queue stalls → more tiles, memory-structure
+      stalls → more banks), with a seeded-LCG diversification step
+      that also expands one other frontier point per round.
+
+    Either way, a configuration whose modeled FPGA area already
+    exceeds [--area-budget] is pruned analytically — the model runs,
+    the simulator does not. *)
+
+module G = Muir_core.Graph
+module Stacks = Muir_opt.Stacks
+module W = Muir_workloads.Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Subjects                                                             *)
+
+(** What to explore: a name and a thunk producing a fresh program.
+    The thunk runs once per evaluation {e inside the worker domain},
+    so nothing mutable (program memory included) is ever shared across
+    domains. *)
+type subject = {
+  s_name : string;
+  s_program : unit -> Muir_ir.Program.t;
+}
+
+let workload_subject (w : W.t) : subject =
+  { s_name = w.wname; s_program = (fun () -> W.program w) }
+
+let source_subject ~(name : string) (src : string) : subject =
+  { s_name = name;
+    s_program = (fun () -> Muir_frontend.Frontend.compile src) }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluations                                                          *)
+
+(** What the profiler blames, mapped onto the knob that widens it. *)
+type hint = Widen_tiles | Widen_banks
+
+type eval = {
+  e_key : string;          (** {!Config.key} — the memo-cache key *)
+  e_cfg : Config.t;
+  e_alms : int;            (** FPGA cost (Arria-10-class ALMs) *)
+  e_brams : int;
+  e_mhz : float;
+  e_asic_area : float;     (** ASIC logic area, 10^3 µm² at 28 nm *)
+  e_cycles : int option;   (** [None] — pruned before simulation *)
+  e_us : float option;     (** cycles at the modeled FPGA clock *)
+  e_hint : hint option;    (** greedy guidance (traced runs only) *)
+}
+
+let pruned (e : eval) : bool = e.e_cycles = None
+
+(** Evaluate one configuration from scratch: compile, build, optimize,
+    model — and, if the area budget allows, simulate. *)
+let evaluate ~(subject : subject) ~(area_budget : int option)
+    ~(traced : bool) (cfg : Config.t) : eval =
+  let key = Config.key cfg in
+  let p = subject.s_program () in
+  let c = Muir_core.Build.circuit ~name:subject.s_name p in
+  let _ = Muir_opt.Pass.run_all (Config.passes cfg) c in
+  let d = Muir_rtl.Lower.design c in
+  let f = Muir_model.Model.fpga d in
+  let a = Muir_model.Model.asic d in
+  let base =
+    { e_key = key; e_cfg = cfg; e_alms = f.fr_alms; e_brams = f.fr_brams;
+      e_mhz = f.fr_mhz; e_asic_area = a.ar_area; e_cycles = None;
+      e_us = None; e_hint = None }
+  in
+  let over =
+    match area_budget with Some b -> f.fr_alms > b | None -> false
+  in
+  if over then base
+  else begin
+    let tracer = if traced then Some (Muir_trace.Trace.create ()) else None in
+    let r = Muir_sim.Sim.run ?tracer c in
+    let cycles = r.Muir_sim.Sim.stats.total_cycles in
+    let hint =
+      match tracer with
+      | None -> None
+      | Some tr ->
+        let prof = Muir_trace.Profile.of_trace c tr in
+        let rec first = function
+          | [] -> None
+          | (s : Muir_trace.Profile.struct_row) :: tl ->
+            if s.s_stalls <= 0 then first tl
+            else (
+              match s.s_ref with
+              | G.Rqueue _ -> Some Widen_tiles
+              | G.Rstruct sid -> (
+                match (G.structure c sid).shape with
+                | G.Cache _ | G.Scratchpad _ -> Some Widen_banks))
+        in
+        first prof.Muir_trace.Profile.p_structs
+    in
+    { base with
+      e_cycles = Some cycles;
+      e_us = Some (float_of_int cycles /. f.fr_mhz);
+      e_hint = hint }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Frontier                                                             *)
+
+(** Pareto-minimal evaluations over (cycles, ALMs), sorted by cycles
+    ascending / area descending.  Pruned points never qualify. *)
+let frontier (evs : eval list) : eval list =
+  let pts =
+    List.filter_map
+      (fun e ->
+        match e.e_cycles with Some c -> Some (c, e) | None -> None)
+      evs
+    |> List.sort (fun (c1, e1) (c2, e2) ->
+           compare (c1, e1.e_alms, e1.e_key) (c2, e2.e_alms, e2.e_key))
+  in
+  let rec sweep best_alms acc = function
+    | [] -> List.rev acc
+    | (_, e) :: tl ->
+      if e.e_alms < best_alms then sweep e.e_alms (e :: acc) tl
+      else sweep best_alms acc tl
+  in
+  sweep max_int [] pts
+
+(** Fastest configuration: min cycles, ties broken by area then key. *)
+let best (evs : eval list) : eval option =
+  List.fold_left
+    (fun acc e ->
+      match (e.e_cycles, acc) with
+      | None, _ -> acc
+      | Some _, None -> Some e
+      | Some c, Some b ->
+        let bc = Option.get b.e_cycles in
+        if compare (c, e.e_alms, e.e_key) (bc, b.e_alms, b.e_key) < 0
+        then Some e
+        else acc)
+    None evs
+
+(* ------------------------------------------------------------------ *)
+(* Search spaces                                                        *)
+
+(** The exhaustive grid: every registry stack × the knobs it actually
+    reads × op-fusion on/off.  Contains each predefined stack at its
+    own default parameters, so the explorer's best can never lose to a
+    predefined stack (at equal or lower area) unless the budget
+    excludes it. *)
+let default_grid () : Config.t list =
+  List.concat_map
+    (fun (s : Stacks.spec) ->
+      let tiles = if s.sp_uses_tiles then [ 1; 2; 4; 8 ] else [ 1 ] in
+      let banks = if s.sp_uses_banks then [ 1; 2; 4 ] else [ 1 ] in
+      let offs = [ []; [ "op-fusion" ] ] in
+      List.concat_map
+        (fun t ->
+          List.concat_map
+            (fun b ->
+              List.map
+                (fun off -> Config.v ~tiles:t ~banks:b ~off s.sp_name)
+                offs)
+            banks)
+        tiles)
+    Stacks.registry
+
+type strategy = Grid | Greedy
+
+let strategy_to_string = function Grid -> "grid" | Greedy -> "greedy"
+
+let strategy_of_string = function
+  | "grid" -> Some Grid
+  | "greedy" -> Some Greedy
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The explorer                                                         *)
+
+type t = {
+  x_subject : string;
+  x_strategy : strategy;
+  x_evals : eval list;     (** unique configurations, evaluation order *)
+  x_frontier : eval list;
+  x_best : eval option;
+  x_fresh_evals : int;     (** configurations evaluated this run *)
+  x_fresh_sims : int;      (** ... of which reached the simulator *)
+  x_pruned : int;          (** ... of which the area model pruned *)
+  x_cache_hits : int;      (** evaluations answered from the cache *)
+  x_cache : Cache.stats;
+}
+
+(* Deterministic diversification for the greedy search: a 63-bit LCG
+   (Knuth-style constants), never the global Random state. *)
+let lcg (s : int) : int =
+  ((s * 0x2545F4914F6CDD1D) + 0x9E3779B9) land max_int
+
+let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
+    ?(seed = 0) ?(cache : eval Cache.t option) ?grid (subject : subject)
+    : t =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let fresh_evals = ref 0 and fresh_sims = ref 0 in
+  let prune_count = ref 0 and hits = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let record ev =
+    if not (Hashtbl.mem seen ev.e_key) then begin
+      Hashtbl.add seen ev.e_key ();
+      order := ev :: !order
+    end
+  in
+  let remaining () = budget_evals - !fresh_evals in
+  (* Evaluate a batch of configurations: answer what the cache knows,
+     dispatch the rest to the pool (within budget), and fold fresh
+     results back into the cache.  Cache traffic stays in this domain. *)
+  let eval_batch ~traced (cfgs : Config.t list) : unit =
+    let keys = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun cfg ->
+          let k = Config.key cfg in
+          if Hashtbl.mem keys k then false
+          else begin
+            Hashtbl.add keys k ();
+            true
+          end)
+        cfgs
+    in
+    let cached, fresh =
+      List.partition_map
+        (fun cfg ->
+          let k = Config.key cfg in
+          match Cache.find_opt cache k with
+          | Some ev ->
+            incr hits;
+            Either.Left ev
+          | None -> Either.Right cfg)
+        uniq
+    in
+    List.iter record cached;
+    let fresh = List.filteri (fun i _ -> i < remaining ()) fresh in
+    let results =
+      Pool.map ~jobs (evaluate ~subject ~area_budget ~traced) fresh
+    in
+    List.iter
+      (fun ev ->
+        Cache.add cache ev.e_key ev;
+        incr fresh_evals;
+        if pruned ev then incr prune_count else incr fresh_sims;
+        record ev)
+      results
+  in
+  (match (strategy, grid) with
+  | Grid, g ->
+    let space = match g with Some g -> g | None -> default_grid () in
+    eval_batch ~traced:false space
+  | Greedy, _ ->
+    (* Seed: every stack at minimal parameters. *)
+    let seeds =
+      List.map (fun (s : Stacks.spec) -> Config.v s.sp_name) Stacks.registry
+    in
+    eval_batch ~traced:true seeds;
+    let rand = ref (lcg (seed + 1)) in
+    let unseen cfg = not (Hashtbl.mem seen (Config.key cfg)) in
+    (* Neighbors of a point, hint-directed widening first. *)
+    let expand (ev : eval) : Config.t list =
+      let s = Config.spec ev.e_cfg in
+      let cfg = ev.e_cfg in
+      let wider_tiles =
+        if s.sp_uses_tiles && cfg.tiles < 16 then
+          [ { cfg with tiles = cfg.tiles * 2 } ]
+        else []
+      and wider_banks =
+        if s.sp_uses_banks && cfg.banks < 8 then
+          [ { cfg with banks = cfg.banks * 2 } ]
+        else []
+      and toggle =
+        if List.mem "op-fusion" cfg.off then
+          [ { cfg with off = List.filter (( <> ) "op-fusion") cfg.off } ]
+        else [ { cfg with off = "op-fusion" :: cfg.off } ]
+      in
+      match ev.e_hint with
+      | Some Widen_banks -> wider_banks @ wider_tiles @ toggle
+      | Some Widen_tiles | None -> wider_tiles @ wider_banks @ toggle
+    in
+    let continue_ = ref true in
+    while !continue_ && remaining () > 0 do
+      let evs = List.rev !order in
+      let front = frontier evs in
+      let proposals =
+        (match best evs with Some b -> expand b | None -> [])
+        @ (match front with
+          | [] -> []
+          | _ ->
+            rand := lcg !rand;
+            let i = abs !rand mod List.length front in
+            expand (List.nth front i))
+      in
+      let proposals = List.filter unseen proposals in
+      (* Exhausted the neighborhood of the best: widen the search to
+         every point evaluated so far before giving up. *)
+      let proposals =
+        if proposals <> [] then proposals
+        else List.filter unseen (List.concat_map expand evs)
+      in
+      if proposals = [] then continue_ := false
+      else eval_batch ~traced:true proposals
+    done);
+  let evs = List.rev !order in
+  { x_subject = subject.s_name;
+    x_strategy = strategy;
+    x_evals = evs;
+    x_frontier = frontier evs;
+    x_best = best evs;
+    x_fresh_evals = !fresh_evals;
+    x_fresh_sims = !fresh_sims;
+    x_pruned = !prune_count;
+    x_cache_hits = !hits;
+    x_cache = Cache.stats cache }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+(** The human-readable frontier table.  Deliberately free of wall-clock
+    or job-count detail: for a fixed seed this output is byte-identical
+    whatever [--jobs] was. *)
+let pp_result ppf (t : t) =
+  Fmt.pf ppf
+    "design space of %s (%s): %d configurations, %d simulated, %d \
+     pruned by the area model, %d from cache@."
+    t.x_subject
+    (strategy_to_string t.x_strategy)
+    (List.length t.x_evals) t.x_fresh_sims t.x_pruned t.x_cache_hits;
+  Fmt.pf ppf "@.  %10s %8s %8s %6s  %s@." "cycles" "ALMs" "kum2" "MHz"
+    "config";
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %10d %8d %8.1f %6.0f  %s@."
+        (Option.value ~default:0 e.e_cycles)
+        e.e_alms e.e_asic_area e.e_mhz (Config.label e.e_cfg))
+    t.x_frontier;
+  (match t.x_best with
+  | None -> Fmt.pf ppf "@.no feasible configuration within the budget@."
+  | Some b ->
+    Fmt.pf ppf "@.best: %s  (%d cycles, %d ALMs, key %s)@."
+      (Config.label b.e_cfg)
+      (Option.value ~default:0 b.e_cycles)
+      b.e_alms b.e_key);
+  Fmt.pf ppf "cache: %a@." Cache.pp_stats t.x_cache
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let eval_to_json (e : eval) : string =
+  let cfg = e.e_cfg in
+  Fmt.str
+    "{\"config\":\"%s\",\"key\":\"%s\",\"stack\":\"%s\",\"tiles\":%d,\
+     \"banks\":%d,\"off\":[%s],\"pruned\":%b,\"cycles\":%s,\"alms\":%d,\
+     \"brams\":%d,\"mhz\":%.2f,\"asic_kum2\":%.3f,\"us\":%s}"
+    (json_escape (Config.label cfg))
+    (json_escape e.e_key)
+    (json_escape cfg.stack)
+    cfg.tiles cfg.banks
+    (String.concat ","
+       (List.map (fun o -> "\"" ^ json_escape o ^ "\"") cfg.off))
+    (pruned e)
+    (match e.e_cycles with Some c -> string_of_int c | None -> "null")
+    e.e_alms e.e_brams e.e_mhz e.e_asic_area
+    (match e.e_us with Some u -> Fmt.str "%.4f" u | None -> "null")
+
+let to_json (t : t) : string =
+  let list evs =
+    "[" ^ String.concat "," (List.map eval_to_json evs) ^ "]"
+  in
+  Fmt.str
+    "{\"subject\":\"%s\",\"strategy\":\"%s\",\"evals\":%s,\
+     \"frontier\":%s,\"best\":%s,\"fresh_evals\":%d,\"fresh_sims\":%d,\
+     \"pruned\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d}}"
+    (json_escape t.x_subject)
+    (strategy_to_string t.x_strategy)
+    (list t.x_evals) (list t.x_frontier)
+    (match t.x_best with Some b -> eval_to_json b | None -> "null")
+    t.x_fresh_evals t.x_fresh_sims t.x_pruned t.x_cache.c_hits
+    t.x_cache.c_misses t.x_cache.c_entries

@@ -51,6 +51,61 @@ let all ?(tiles = 4) ?(banks = 2) () : Pass.t list =
     Tensor.pass;
     Fusion.pass ]
 
+(* ------------------------------------------------------------------ *)
+(* Named-stack registry                                                 *)
+
+(** The numeric knobs a stack can expose.  Every stack takes the full
+    record and reads only the fields it uses (see {!spec.sp_uses_tiles}
+    / {!spec.sp_uses_banks}) — callers that sweep the space can use
+    those flags to avoid re-evaluating configurations that build the
+    same pass list. *)
+type params = { tiles : int; banks : int }
+
+(** One named, parameterizable stack.  [muirc]'s [-O] parsing, its help
+    text and the design-space explorer all derive from this registry,
+    so a stack added here shows up everywhere at once. *)
+type spec = {
+  sp_name : string;
+  sp_desc : string;
+  sp_uses_tiles : bool;   (** the builder reads [params.tiles] *)
+  sp_uses_banks : bool;   (** the builder reads [params.banks] *)
+  sp_defaults : params;   (** what a bare [-O name] means *)
+  sp_build : params -> Pass.t list;
+}
+
+let registry : spec list =
+  [ { sp_name = "baseline";
+      sp_desc = "no μopt passes (the constructed circuit as-is)";
+      sp_uses_tiles = false; sp_uses_banks = false;
+      sp_defaults = { tiles = 1; banks = 1 };
+      sp_build = (fun _ -> []) };
+    { sp_name = "loop-stack";
+      sp_desc = "queuing + cache banking + localization + fusion (Fig. 17)";
+      sp_uses_tiles = false; sp_uses_banks = true;
+      sp_defaults = { tiles = 1; banks = 2 };
+      sp_build = (fun p -> loop_stack ~banks:p.banks ()) };
+    { sp_name = "cilk-stack";
+      sp_desc =
+        "queuing + tiling + localization + banking + fusion (Fig. 8)";
+      sp_uses_tiles = true; sp_uses_banks = true;
+      sp_defaults = { tiles = 4; banks = 2 };
+      sp_build = (fun p -> cilk_stack ~tiles:p.tiles ~banks:p.banks ()) };
+    { sp_name = "tensor-stack";
+      sp_desc = "localization + dedicated tensor units + fusion (§6.3)";
+      sp_uses_tiles = false; sp_uses_banks = false;
+      sp_defaults = { tiles = 1; banks = 1 };
+      sp_build = (fun _ -> tensor_stack ()) };
+    { sp_name = "best";
+      sp_desc = "every loop optimization incl. all-loops tiling (§6.6)";
+      sp_uses_tiles = true; sp_uses_banks = true;
+      sp_defaults = { tiles = 8; banks = 4 };
+      sp_build = (fun p -> best_loop_stack ~banks:p.banks ~tiles:p.tiles ()) } ]
+
+let find_spec (name : string) : spec option =
+  List.find_opt (fun s -> s.sp_name = name) registry
+
+let names () : string list = List.map (fun s -> s.sp_name) registry
+
 (** Apply a stack to a fresh circuit built from [prog]. *)
 let optimized ?(entry = "main") ?(name = "accelerator")
     (passes : Pass.t list) (prog : Muir_ir.Program.t) :

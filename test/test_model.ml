@@ -98,6 +98,89 @@ let test_dense_dsp_counts () =
     true
     ((M.fpga d).fr_dsps <= 8)
 
+(* --- monotonicity and sanity across the bundled stacks ---------------
+   The design-space explorer prunes configurations whose modeled area
+   exceeds the budget before simulating them; that is only sound if
+   widening a knob never *shrinks* the modeled cost. *)
+
+let par_saxpy =
+  {|
+global float X[16]; global float Y[16];
+func void main() {
+  parallel_for (int i = 0; i < 16; i = i + 1) { Y[i] = 2.5 * X[i] + Y[i]; }
+  sync;
+}|}
+
+let reports_of ~tiles ~banks (s : Muir_opt.Stacks.spec) =
+  let d = design_of ~passes:(s.sp_build { tiles; banks }) par_saxpy in
+  (M.fpga d, M.asic d)
+
+let test_banks_monotone () =
+  List.iter
+    (fun (s : Muir_opt.Stacks.spec) ->
+      if s.sp_uses_banks then begin
+        let sweep =
+          List.map (fun banks -> reports_of ~tiles:2 ~banks s) [ 1; 2; 4; 8 ]
+        in
+        let rec pairs = function
+          | (f1, a1) :: ((f2, a2) :: _ as tl) ->
+            Alcotest.(check bool)
+              (Fmt.str "%s: ALMs non-decreasing in banks (%d -> %d)"
+                 s.sp_name f1.M.fr_alms f2.M.fr_alms)
+              true (f2.M.fr_alms >= f1.M.fr_alms);
+            Alcotest.(check bool)
+              (Fmt.str "%s: ASIC area non-decreasing in banks" s.sp_name)
+              true (a2.M.ar_area >= a1.M.ar_area);
+            pairs tl
+          | _ -> ()
+        in
+        pairs sweep
+      end)
+    Muir_opt.Stacks.registry
+
+let test_tiles_monotone () =
+  List.iter
+    (fun (s : Muir_opt.Stacks.spec) ->
+      if s.sp_uses_tiles then begin
+        let sweep =
+          List.map (fun tiles -> reports_of ~tiles ~banks:2 s) [ 1; 2; 4; 8 ]
+        in
+        let rec pairs = function
+          | (f1, a1) :: ((f2, a2) :: _ as tl) ->
+            Alcotest.(check bool)
+              (Fmt.str "%s: ALMs non-decreasing in tiles (%d -> %d)"
+                 s.sp_name f1.M.fr_alms f2.M.fr_alms)
+              true (f2.M.fr_alms >= f1.M.fr_alms);
+            Alcotest.(check bool)
+              (Fmt.str "%s: ASIC area non-decreasing in tiles" s.sp_name)
+              true (a2.M.ar_area >= a1.M.ar_area);
+            pairs tl
+          | _ -> ()
+        in
+        pairs sweep
+      end)
+    Muir_opt.Stacks.registry
+
+let test_reports_non_negative () =
+  (* every report field must be non-negative (and rates positive) for
+     every bundled stack at its default parameters *)
+  List.iter
+    (fun (s : Muir_opt.Stacks.spec) ->
+      let f, a = reports_of ~tiles:s.sp_defaults.tiles
+          ~banks:s.sp_defaults.banks s
+      in
+      let ck name v = Alcotest.(check bool) (s.sp_name ^ ": " ^ name) true v in
+      ck "MHz > 0" (f.M.fr_mhz > 0.0);
+      ck "mW >= 0" (f.M.fr_mw >= 0.0);
+      ck "ALMs >= 0" (f.M.fr_alms >= 0);
+      ck "regs >= 0" (f.M.fr_regs >= 0);
+      ck "DSPs >= 0" (f.M.fr_dsps >= 0);
+      ck "BRAMs >= 0" (f.M.fr_brams >= 0);
+      ck "GHz > 0" (a.M.ar_ghz > 0.0);
+      ck "ASIC mW >= 0" (a.M.ar_mw >= 0.0);
+      ck "ASIC area >= 0" (a.M.ar_area >= 0.0))
+    Muir_opt.Stacks.registry
+
 let prop_area_monotone_in_tiles =
   QCheck.Test.make ~count:6 ~name:"ALMs grow monotonically with tiles"
     QCheck.(int_range 1 3)
@@ -134,5 +217,12 @@ let () =
           Alcotest.test_case "fusion frequency bounded" `Quick
             test_fusion_frequency_bounded;
           Alcotest.test_case "dsp counts" `Quick test_dense_dsp_counts ] );
+      ( "monotonicity",
+        [ Alcotest.test_case "banks never shrink cost" `Quick
+            test_banks_monotone;
+          Alcotest.test_case "tiles never shrink cost" `Quick
+            test_tiles_monotone;
+          Alcotest.test_case "report fields non-negative" `Quick
+            test_reports_non_negative ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_area_monotone_in_tiles ] ) ]
