@@ -541,8 +541,8 @@ let profile () =
     let c = Muir_core.Build.circuit ~name:w.wname p in
     let _ = Opt.Pass.run_all passes c in
     let tracer = Muir_trace.Trace.create () in
-    ignore (Muir_sim.Sim.run ~tracer c);
-    Muir_trace.Profile.of_trace c tracer
+    let r = Muir_sim.Sim.run ~tracer c in
+    Muir_trace.Profile.of_run c ~tracer r.Muir_sim.Sim.counters
   in
   List.iter
     (fun (name, stack_name, stack) ->
@@ -700,6 +700,85 @@ let bechamel () =
   List.iter run_one tests
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable run reports and the benchmark regression gate      *)
+
+module Report = Muir_trace.Report
+
+(** Simulate one workload under [passes] and capture the full run
+    report from the always-on counter bank.  Deterministic: wall
+    seconds are deliberately left out so the emitted JSON is
+    byte-stable across machines (see Report's determinism notes). *)
+let report_run ?(passes = []) ?(unroll = false) ~stack (w : W.t) :
+    Report.run =
+  let p = W.program w in
+  if unroll then ignore (Unroll.unroll ~max_trip:16 p);
+  let c = Muir_core.Build.circuit ~name:w.wname p in
+  let _ = Opt.Pass.run_all passes c in
+  let r = Muir_sim.Sim.run c in
+  check_outputs w p r;
+  let s = r.Muir_sim.Sim.stats in
+  let mem =
+    List.map
+      (fun (ms : Muir_sim.Memsys.struct_stats) ->
+        { Report.m_name = ms.ss_name; m_accesses = ms.ss_accesses;
+          m_hits = ms.ss_hits; m_misses = ms.ss_misses;
+          m_conflicts = ms.ss_conflicts })
+      s.mem
+  in
+  let d = Muir_rtl.Lower.design c in
+  let f = Muir_model.Model.fpga d in
+  let a = Muir_model.Model.asic d in
+  Report.make ~workload:w.wname ~stack ~mem
+    ~fpga:
+      { Report.f_mhz = f.fr_mhz; f_alms = f.fr_alms; f_regs = f.fr_regs;
+        f_dsps = f.fr_dsps; f_brams = f.fr_brams }
+    ~asic:{ Report.a_ghz = a.ar_ghz; a_area = a.ar_area }
+    ~total_cycles:s.total_cycles c r.Muir_sim.Sim.counters
+
+(** [--json PATH]: every workload at baseline and under its
+    per-category best stack, as one suite file.  This is how
+    `bench/baseline.json` is produced and what CI's regression gate
+    compares against. *)
+let suite_json (path : string) =
+  let runs =
+    List.concat_map
+      (fun (w : W.t) ->
+        [ report_run ~stack:"baseline" w;
+          report_run ~passes:(best_stack w) ~stack:"best" w ])
+      W.all
+  in
+  let suite =
+    { Report.su_provenance = Report.provenance (); su_runs = runs }
+  in
+  let oc = open_out path in
+  output_string oc (Report.suite_to_json suite);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %d runs (%d workloads x 2 stacks) to %s@."
+    (List.length runs) (List.length W.all) path
+
+(** [compare BASE NEW [--tolerance PCT]]: the regression gate.  Exits
+    non-zero iff some (workload, stack) pair got more than PCT percent
+    slower; runs present on only one side are reported but never
+    fail. *)
+let compare_reports (base_path : string) (new_path : string)
+    (tolerance : float) =
+  let load path =
+    try Report.load path with
+    | Report.Bad_report e ->
+      Fmt.epr "%s: %s@." path e;
+      exit 2
+    | Sys_error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+  in
+  let base = load base_path in
+  let next = load new_path in
+  let cmp = Report.compare_suites ~tolerance base next in
+  Report.pp_comparison ~tolerance Fmt.stdout cmp;
+  if Report.any_regression cmp then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table2", table2);
@@ -720,12 +799,7 @@ let experiments : (string * (unit -> unit)) list =
     ("explore", explore);
     ("bechamel", bechamel) ]
 
-let () =
-  let args =
-    match Array.to_list Sys.argv with
-    | _ :: rest -> List.filter (fun a -> a <> "--") rest
-    | [] -> []
-  in
+let run_experiments args =
   let selected =
     if args = [] then
       [ ("table2", table2); ("fig9", fig9); ("fig1", fig1);
@@ -745,3 +819,28 @@ let () =
         args
   in
   List.iter (fun (_, f) -> f ()) selected
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.filter (fun a -> a <> "--") rest
+    | [] -> []
+  in
+  match args with
+  | [ "--json"; path ] -> suite_json path
+  | "--json" :: _ ->
+    Fmt.epr "usage: bench --json REPORT.json@.";
+    exit 2
+  | "compare" :: rest -> (
+    match rest with
+    | [ base; next ] -> compare_reports base next 5.0
+    | [ base; next; "--tolerance"; pct ] -> (
+      match float_of_string_opt pct with
+      | Some t when t >= 0.0 -> compare_reports base next t
+      | _ ->
+        Fmt.epr "compare: bad tolerance %S@." pct;
+        exit 2)
+    | _ ->
+      Fmt.epr "usage: bench compare BASE.json NEW.json [--tolerance PCT]@.";
+      exit 2)
+  | _ -> run_experiments args

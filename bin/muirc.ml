@@ -149,9 +149,11 @@ let dot_cmd =
         let heat =
           if not profile then None
           else begin
-            let tracer = Muir_trace.Trace.create () in
-            ignore (Muir_sim.Sim.run ~tracer c);
-            Some (Muir_trace.Profile.heat (Muir_trace.Profile.of_trace c tracer))
+            (* the heat overlay only needs the counter bank — no ring *)
+            let r = Muir_sim.Sim.run c in
+            Some
+              (Muir_trace.Profile.heat
+                 (Muir_trace.Profile.of_run c r.Muir_sim.Sim.counters))
           end
         in
         let dot = Muir_core.Dot.render ?heat c in
@@ -210,8 +212,8 @@ let report_simulation (r : Muir_sim.Sim.result) =
   Fmt.pr "memory requests   %d@." r.stats.mem_requests;
   List.iter
     (fun (s : Muir_sim.Memsys.struct_stats) ->
-      Fmt.pr "  %-12s accesses=%d hits=%d misses=%d@." s.ss_name
-        s.ss_accesses s.ss_hits s.ss_misses)
+      Fmt.pr "  %-12s accesses=%d hits=%d misses=%d conflicts=%d@." s.ss_name
+        s.ss_accesses s.ss_hits s.ss_misses s.ss_conflicts)
     r.stats.mem;
   List.iter
     (fun (t, n) ->
@@ -266,31 +268,111 @@ let profile_cmd =
       & info [ "vcd" ] ~docv:"OUT"
           ~doc:"Write the retained event window as a VCD waveform dump.")
   in
-  let run target passes unroll top chrome vcd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Write a versioned machine-readable run report (counter \
+             bank, per-structure stalls, FPGA/ASIC model outputs, \
+             provenance).")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Treat the two positional arguments as run-report files \
+             (written by --json) and print the per-structure \
+             cycle-delta view instead of simulating.")
+  in
+  let second_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"REPORT_B"
+          ~doc:"Second report file (with $(b,--diff)).")
+  in
+  let run target passes unroll top chrome vcd json diff second =
     handle_frontend (fun () ->
-        let c =
-          if Sys.file_exists target then
-            snd (optimized_circuit ~unroll target passes)
-          else begin
-            let w = Muir_workloads.Workloads.find target in
-            let p = Muir_workloads.Workloads.program w in
-            let c = Muir_core.Build.circuit ~name:w.wname p in
-            let _ = Muir_opt.Pass.run_all (List.concat passes) c in
-            c
-          end
-        in
-        let tracer = Muir_trace.Trace.create () in
-        let r = Muir_sim.Sim.run ~tracer c in
-        let prof = Muir_trace.Profile.of_trace c tracer in
-        Muir_trace.Profile.report ~top Fmt.stdout prof;
-        Fmt.pr "@.total cycles      %d (%d fires)@." r.stats.total_cycles
-          r.stats.fires;
-        Option.iter
-          (fun f -> write_file f (Muir_trace.Export.chrome c tracer))
-          chrome;
-        Option.iter
-          (fun f -> write_file f (Muir_trace.Export.vcd c tracer))
-          vcd)
+        if diff then begin
+          let b =
+            match second with
+            | Some b -> b
+            | None ->
+              Fmt.epr "profile --diff needs two report files: A B@.";
+              exit 2
+          in
+          let sa = Muir_trace.Report.load target in
+          let sb = Muir_trace.Report.load b in
+          match (sa.su_runs, sb.su_runs) with
+          | ra :: _, rb :: _ -> Muir_trace.Report.pp_diff Fmt.stdout ra rb
+          | _ ->
+            Fmt.epr "report with no runs@.";
+            exit 2
+        end
+        else begin
+          let c =
+            if Sys.file_exists target then
+              snd (optimized_circuit ~unroll target passes)
+            else begin
+              let w = Muir_workloads.Workloads.find target in
+              let p = Muir_workloads.Workloads.program w in
+              let c = Muir_core.Build.circuit ~name:w.wname p in
+              let _ = Muir_opt.Pass.run_all (List.concat passes) c in
+              c
+            end
+          in
+          let tracer = Muir_trace.Trace.create () in
+          let r = Muir_sim.Sim.run ~tracer c in
+          let prof = Muir_trace.Profile.of_run c ~tracer r.counters in
+          Muir_trace.Profile.report ~top Fmt.stdout prof;
+          Fmt.pr "@.total cycles      %d (%d fires)@." r.stats.total_cycles
+            r.stats.fires;
+          Option.iter
+            (fun f -> write_file f (Muir_trace.Export.chrome c tracer))
+            chrome;
+          Option.iter
+            (fun f -> write_file f (Muir_trace.Export.vcd c tracer))
+            vcd;
+          Option.iter
+            (fun f ->
+              let d = Muir_rtl.Lower.design c in
+              let fp = Muir_model.Model.fpga d in
+              let ac = Muir_model.Model.asic d in
+              let stack =
+                match
+                  List.map
+                    (fun (p : Muir_opt.Pass.t) -> p.pname)
+                    (List.concat passes)
+                with
+                | [] -> "baseline"
+                | ps -> String.concat "," ps
+              in
+              let mem =
+                List.map
+                  (fun (s : Muir_sim.Memsys.struct_stats) ->
+                    { Muir_trace.Report.m_name = s.ss_name;
+                      m_accesses = s.ss_accesses; m_hits = s.ss_hits;
+                      m_misses = s.ss_misses; m_conflicts = s.ss_conflicts })
+                  r.stats.mem
+              in
+              let rep =
+                Muir_trace.Report.make ~workload:c.cname ~stack
+                  ~wall:r.stats.wall_seconds ~mem
+                  ~fpga:
+                    { Muir_trace.Report.f_mhz = fp.fr_mhz;
+                      f_alms = fp.fr_alms; f_regs = fp.fr_regs;
+                      f_dsps = fp.fr_dsps; f_brams = fp.fr_brams }
+                  ~asic:
+                    { Muir_trace.Report.a_ghz = ac.ar_ghz;
+                      a_area = ac.ar_area }
+                  ~total_cycles:r.stats.total_cycles c r.counters
+              in
+              write_file f (Muir_trace.Report.to_json rep))
+            json
+        end)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -299,10 +381,13 @@ let profile_cmd =
           report: top stalled nodes with their dominant cause, stall \
           cycles attributed to memory structures and task queues (with \
           the μopt pass that widens each), the critical path over the \
-          fire-event DAG, and queue-occupancy histograms.")
+          fire-event DAG, and queue-occupancy histograms.  With \
+          $(b,--json), also write a versioned machine-readable run \
+          report; with $(b,--diff A B), compare two such reports \
+          structure by structure.")
     Term.(
       const run $ target_arg $ passes_arg $ unroll_arg $ top_arg
-      $ chrome_arg $ vcd_arg)
+      $ chrome_arg $ vcd_arg $ json_arg $ diff_flag $ second_arg)
 
 let explore_cmd =
   let target_arg =

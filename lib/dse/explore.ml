@@ -13,12 +13,13 @@
     - {e grid} — exhaustive sweep of a finite space (the default space
       covers every registry stack × tiles × banks × op-fusion on/off,
       and always contains each predefined stack at its own defaults);
-    - {e greedy} — profiler-guided hill climb: seeds every stack at
-      minimal parameters, simulates with tracing on, and widens the
-      parameter behind the dominant stall ({!Muir_trace.Profile}
-      attribution: task-queue stalls → more tiles, memory-structure
-      stalls → more banks), with a seeded-LCG diversification step
-      that also expands one other frontier point per round.
+    - {e greedy} — counter-guided hill climb: seeds every stack at
+      minimal parameters and widens the parameter behind the dominant
+      stall ({!Muir_trace.Profile} attribution over the simulator's
+      always-on counter bank — no event ring involved: task-queue
+      stalls → more tiles, memory-structure stalls → more banks), with
+      a seeded-LCG diversification step that also expands one other
+      frontier point per round.
 
     Either way, a configuration whose modeled FPGA area already
     exceeds [--area-budget] is pruned analytically — the model runs,
@@ -62,7 +63,7 @@ type eval = {
   e_asic_area : float;     (** ASIC logic area, 10^3 µm² at 28 nm *)
   e_cycles : int option;   (** [None] — pruned before simulation *)
   e_us : float option;     (** cycles at the modeled FPGA clock *)
-  e_hint : hint option;    (** greedy guidance (traced runs only) *)
+  e_hint : hint option;    (** greedy guidance, from the counter bank *)
 }
 
 let pruned (e : eval) : bool = e.e_cycles = None
@@ -70,7 +71,7 @@ let pruned (e : eval) : bool = e.e_cycles = None
 (** Evaluate one configuration from scratch: compile, build, optimize,
     model — and, if the area budget allows, simulate. *)
 let evaluate ~(subject : subject) ~(area_budget : int option)
-    ~(traced : bool) (cfg : Config.t) : eval =
+    (cfg : Config.t) : eval =
   let key = Config.key cfg in
   let p = subject.s_program () in
   let c = Muir_core.Build.circuit ~name:subject.s_name p in
@@ -88,31 +89,26 @@ let evaluate ~(subject : subject) ~(area_budget : int option)
   in
   if over then base
   else begin
-    let tracer = if traced then Some (Muir_trace.Trace.create ()) else None in
-    let r = Muir_sim.Sim.run ?tracer c in
+    let r = Muir_sim.Sim.run c in
     let cycles = r.Muir_sim.Sim.stats.total_cycles in
-    let hint =
-      match tracer with
-      | None -> None
-      | Some tr ->
-        let prof = Muir_trace.Profile.of_trace c tr in
-        let rec first = function
-          | [] -> None
-          | (s : Muir_trace.Profile.struct_row) :: tl ->
-            if s.s_stalls <= 0 then first tl
-            else (
-              match s.s_ref with
-              | G.Rqueue _ -> Some Widen_tiles
-              | G.Rstruct sid -> (
-                match (G.structure c sid).shape with
-                | G.Cache _ | G.Scratchpad _ -> Some Widen_banks))
-        in
-        first prof.Muir_trace.Profile.p_structs
+    (* The hint comes from the always-on counter bank — every
+       simulated evaluation gets one, no event ring attached. *)
+    let prof = Muir_trace.Profile.of_run c r.Muir_sim.Sim.counters in
+    let rec first = function
+      | [] -> None
+      | (s : Muir_trace.Profile.struct_row) :: tl ->
+        if s.s_stalls <= 0 then first tl
+        else (
+          match s.s_ref with
+          | G.Rqueue _ -> Some Widen_tiles
+          | G.Rstruct sid -> (
+            match (G.structure c sid).shape with
+            | G.Cache _ | G.Scratchpad _ -> Some Widen_banks))
     in
     { base with
       e_cycles = Some cycles;
       e_us = Some (float_of_int cycles /. f.fr_mhz);
-      e_hint = hint }
+      e_hint = first prof.Muir_trace.Profile.p_structs }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +220,7 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
   (* Evaluate a batch of configurations: answer what the cache knows,
      dispatch the rest to the pool (within budget), and fold fresh
      results back into the cache.  Cache traffic stays in this domain. *)
-  let eval_batch ~traced (cfgs : Config.t list) : unit =
+  let eval_batch (cfgs : Config.t list) : unit =
     let keys = Hashtbl.create 16 in
     let uniq =
       List.filter
@@ -251,7 +247,7 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
     List.iter record cached;
     let fresh = List.filteri (fun i _ -> i < remaining ()) fresh in
     let results =
-      Pool.map ~jobs (evaluate ~subject ~area_budget ~traced) fresh
+      Pool.map ~jobs (evaluate ~subject ~area_budget) fresh
     in
     List.iter
       (fun ev ->
@@ -264,13 +260,13 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
   (match (strategy, grid) with
   | Grid, g ->
     let space = match g with Some g -> g | None -> default_grid () in
-    eval_batch ~traced:false space
+    eval_batch space
   | Greedy, _ ->
     (* Seed: every stack at minimal parameters. *)
     let seeds =
       List.map (fun (s : Stacks.spec) -> Config.v s.sp_name) Stacks.registry
     in
-    eval_batch ~traced:true seeds;
+    eval_batch seeds;
     let rand = ref (lcg (seed + 1)) in
     let unseen cfg = not (Hashtbl.mem seen (Config.key cfg)) in
     (* Neighbors of a point, hint-directed widening first. *)
@@ -315,7 +311,7 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
         else List.filter unseen (List.concat_map expand evs)
       in
       if proposals = [] then continue_ := false
-      else eval_batch ~traced:true proposals
+      else eval_batch proposals
     done);
   let evs = List.rev !order in
   { x_subject = subject.s_name;
@@ -361,19 +357,7 @@ let pp_result ppf (t : t) =
 
 (* --- JSON ----------------------------------------------------------- *)
 
-let json_escape (s : string) : string =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Muir_trace.Json.escape
 
 let eval_to_json (e : eval) : string =
   let cfg = e.e_cfg in
@@ -396,10 +380,18 @@ let to_json (t : t) : string =
   let list evs =
     "[" ^ String.concat "," (List.map eval_to_json evs) ^ "]"
   in
+  (* The same deterministic provenance block run reports carry: no
+     wall-clock content, so identical explorations serialize
+     byte-identically (and remain cache-key-friendly). *)
+  let prov =
+    Muir_trace.Json.to_string
+      (Muir_trace.Report.provenance_json (Muir_trace.Report.provenance ()))
+  in
   Fmt.str
-    "{\"subject\":\"%s\",\"strategy\":\"%s\",\"evals\":%s,\
+    "{\"provenance\":%s,\"subject\":\"%s\",\"strategy\":\"%s\",\"evals\":%s,\
      \"frontier\":%s,\"best\":%s,\"fresh_evals\":%d,\"fresh_sims\":%d,\
      \"pruned\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d}}"
+    prov
     (json_escape t.x_subject)
     (strategy_to_string t.x_strategy)
     (list t.x_evals) (list t.x_frontier)

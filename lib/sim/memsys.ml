@@ -46,6 +46,9 @@ type struct_rt = {
   mutable prefetches : int;
   mutable accesses : int;
   mutable busy_cycles : int;
+  mutable conflicts : int;
+      (** sub-requests that arrived at a bank already holding queued
+          work — the paper's bank-conflict counter *)
 }
 
 type t = {
@@ -75,7 +78,7 @@ let create (c : G.circuit) (mem : Muir_ir.Memory.t) : t =
         banks = Array.init (max nbanks 1) (fun _ ->
                     { bq = Queue.create (); busy_until = 0 });
         tags; hits = 0; misses = 0; prefetches = 0; accesses = 0;
-        busy_cycles = 0 } )
+        busy_cycles = 0; conflicts = 0 } )
   in
   let structs = List.map mk_rt c.structures in
   let space_of sp =
@@ -123,10 +126,13 @@ let bank_of (rt : struct_rt) (sr : subreq) : int =
     (List.hd sr.sr_addrs / max width_words 1) mod nbanks
   | Cache { line_words; _ } -> List.hd sr.sr_addrs / line_words mod nbanks
 
-(** Enqueue a sub-request at its bank. *)
+(** Enqueue a sub-request at its bank; a non-empty bank queue means
+    this request collided with in-flight work on the same bank. *)
 let enqueue (ms : t) (rt : struct_rt) (sr : subreq) : unit =
   ms.total_requests <- ms.total_requests + 1;
-  Queue.add sr rt.banks.(bank_of rt sr).bq
+  let b = rt.banks.(bank_of rt sr) in
+  if not (Queue.is_empty b.bq) then rt.conflicts <- rt.conflicts + 1;
+  Queue.add sr b.bq
 
 (* ------------------------------------------------------------------ *)
 (* Cache tag handling                                                   *)
@@ -297,6 +303,7 @@ type struct_stats = {
   ss_accesses : int;
   ss_hits : int;
   ss_misses : int;
+  ss_conflicts : int;
 }
 
 (** Queued sub-requests per structure right now, summed over its
@@ -308,9 +315,19 @@ let occupancy (ms : t) : (G.struct_id * int) list =
         Array.fold_left (fun acc b -> acc + Queue.length b.bq) 0 rt.banks ))
     ms.structs
 
+(** Allocation-free variant of {!occupancy} for the kernel's always-on
+    per-cycle sampling. *)
+let iter_occupancy (ms : t) (f : G.struct_id -> int -> unit) : unit =
+  List.iter
+    (fun (sid, rt) ->
+      f sid
+        (Array.fold_left (fun acc b -> acc + Queue.length b.bq) 0 rt.banks))
+    ms.structs
+
 let stats (ms : t) : struct_stats list =
   List.map
     (fun (_, rt) ->
       { ss_name = rt.inst.sname; ss_accesses = rt.accesses;
-        ss_hits = rt.hits; ss_misses = rt.misses })
+        ss_hits = rt.hits; ss_misses = rt.misses;
+        ss_conflicts = rt.conflicts })
     ms.structs

@@ -53,6 +53,7 @@ module T = Muir_ir.Types
 module I = Muir_ir.Instr
 module E = Muir_ir.Eval
 module Tr = Muir_trace.Trace
+module Ctr = Muir_trace.Counters
 
 type token = T.value
 
@@ -160,7 +161,7 @@ and instance = {
   mutable i_qemit : bool;
   mutable i_qcomplete : bool;
   mutable i_qjunction : bool;
-  i_prof : Tr.Prof.iprof option;  (** stall accounting, when tracing *)
+  i_prof : Tr.Prof.iprof;         (** always-on stall accounting *)
 }
 
 type task_rt = {
@@ -210,6 +211,7 @@ type result = {
   value : token;                  (** root task's return value *)
   memory : Muir_ir.Memory.t;
   stats : stats;
+  counters : Ctr.t;               (** always-on performance counters *)
 }
 
 exception Deadlock of string
@@ -240,6 +242,7 @@ type t = {
   mutable live_nodes : int;       (** nodes across live instances *)
   mutable node_cycles : int;      (** Σ live_nodes per cycle, stats *)
   tr : Tr.t option;               (** event sink; [None] = tracing off *)
+  ctrs : Ctr.t;                   (** always-on counter bank *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -437,11 +440,7 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
       junction = Queue.create (); isyncs; i_fire_nodes = [];
       i_emit_nodes = []; i_qfire = false; i_qemit = false;
       i_qcomplete = false; i_qjunction = false;
-      i_prof =
-        Option.map
-          (fun _ ->
-            Tr.Prof.make ~born:sim.now ~nnodes:(Array.length nodes))
-          sim.tr }
+      i_prof = Tr.Prof.make ~born:sim.now ~nnodes:(Array.length nodes) }
   in
   (* Back-pointers so channel events can wake producer/consumer. *)
   List.iter
@@ -483,7 +482,8 @@ let create ?tracer (c : G.circuit) : t =
       junction_width =
         Array.init n (fun tid -> G.junction_width c tid);
       max_outstanding = 8; timed = Hashtbl.create 64; dirty_fifos = [];
-      woken = 0; live_nodes = 0; node_cycles = 0; tr = tracer }
+      woken = 0; live_nodes = 0; node_cycles = 0; tr = tracer;
+      ctrs = Ctr.create () }
   in
   (* Static instances for non-dynamic tasks: one per tile. *)
   Array.iter
@@ -678,11 +678,11 @@ let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
         let res = Array.map Option.get iv.iv_liveouts in
         deliver_reply sim iv.iv_reply res)
       complete;
-    (match sim.tr, inst.i_prof with
-    | Some tr, Some ip when inst.i_count = 0 ->
+    if inst.i_count = 0 then begin
       (* Invocation drained: every node is idle from the next cycle.
          A retiring dynamic instance also folds its accounting into
-         the whole-run aggregates here, before it disappears. *)
+         the whole-run counter bank here, before it disappears. *)
+      let ip = inst.i_prof in
       Array.iter
         (fun np ->
           ignore
@@ -692,10 +692,10 @@ let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
         Array.iteri
           (fun i np ->
             let n = inst.inodes.(i) in
-            Tr.fold tr ~task:inst.it.tid ~node:n.nr.nid ~fires:n.nr_fired
-              ~born:ip.born ~upto:(sim.now + 1) np)
+            Ctr.fold sim.ctrs ~task:inst.it.tid ~node:n.nr.nid
+              ~fires:n.nr_fired ~born:ip.born ~upto:(sim.now + 1) np)
           ip.nprofs
-    | _ -> ());
+    end;
     if inst.idynamic && inst.i_count = 0 then begin
       inst.live <- false;
       sim.live_nodes <- sim.live_nodes - Array.length inst.inodes;
@@ -1006,7 +1006,7 @@ let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
       end
 
 (* ------------------------------------------------------------------ *)
-(* Stall classification (tracing only)                                  *)
+(* Stall classification (always-on)                                     *)
 
 (* Why did this woken node fail to fire?  Mirrors [try_fire]'s failure
    paths; a failed attempt has no side effects, so re-inspecting the
@@ -1053,32 +1053,34 @@ let post_fire_cause (sim : t) (n : node_rt) : Tr.cause =
 let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
     bool =
   let fired = try_fire sim trt inst n in
-  (match sim.tr, inst.i_prof with
-  | Some tr, Some ip ->
-    let np = ip.nprofs.(n.nr_idx) in
-    if fired then begin
-      ignore (Tr.Prof.transition np (Tr.cause_index Tr.Busy) sim.now);
-      ignore
-        (Tr.Prof.transition np
-           (Tr.cause_index (post_fire_cause sim n))
-           (sim.now + 1));
+  (* Interval accounting is always-on (it feeds the counter bank); the
+     ring only sees events when a tracer is attached. *)
+  let np = inst.i_prof.nprofs.(n.nr_idx) in
+  if fired then begin
+    ignore (Tr.Prof.transition np (Tr.cause_index Tr.Busy) sim.now);
+    ignore
+      (Tr.Prof.transition np
+         (Tr.cause_index (post_fire_cause sim n))
+         (sim.now + 1));
+    match sim.tr with
+    | Some tr ->
       Tr.emit tr
         (Tr.Efire
            { c = sim.now; task = inst.it.tid; inst = inst.iid;
              node = n.nr.nid; lat = n.nr_cost.latency })
-    end
-    else begin
-      let cause = stall_cause sim n in
-      if
-        Tr.Prof.transition np (Tr.cause_index cause) sim.now
-        && cause <> Tr.Idle
-      then
-        Tr.emit tr
-          (Tr.Estall
-             { c = sim.now; task = inst.it.tid; inst = inst.iid;
-               node = n.nr.nid; cause })
-    end
-  | _ -> ());
+    | None -> ()
+  end
+  else begin
+    let cause = stall_cause sim n in
+    let changed = Tr.Prof.transition np (Tr.cause_index cause) sim.now in
+    match sim.tr with
+    | Some tr when changed && cause <> Tr.Idle ->
+      Tr.emit tr
+        (Tr.Estall
+           { c = sim.now; task = inst.it.tid; inst = inst.iid;
+             node = n.nr.nid; cause })
+    | _ -> ()
+  end;
   if fired then begin
     sim.fires <- sim.fires + 1;
     sim.last_activity <- sim.now;
@@ -1090,6 +1092,7 @@ let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
     | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ ->
       wake_junction sim inst
     | G.SpawnChild _ ->
+      sim.ctrs.Ctr.spawns <- sim.ctrs.Ctr.spawns + 1;
       (* spawns_issued moved: parked syncs may now be able to pass *)
       Array.iter (fun s -> wake_emit sim inst s) inst.isyncs
     | _ -> ());
@@ -1200,6 +1203,7 @@ let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
          && ports_have_space n [ (0, T.VBool true) ]
       then begin
         ignore (Queue.pop n.nr_sync);
+        sim.ctrs.Ctr.syncs <- sim.ctrs.Ctr.syncs + 1;
         emit_ports sim n [ (0, T.VBool true) ];
         progressed := true;
         drain_sync ()
@@ -1231,7 +1235,15 @@ let take_emit_nodes (inst : instance) : node_rt list =
 
 let step (sim : t) : unit =
   let now = sim.now in
-  (* 0. timed wakes due this cycle; occupancy samples when tracing *)
+  (* 0. always-on occupancy integrals (exact time-average and
+     high-water depths, O(tasks + structures) per cycle, no
+     allocation); ring samples additionally when tracing *)
+  Array.iter
+    (fun trt ->
+      Ctr.occ_add sim.ctrs (Ctr.Ktask trt.tk.tid) (Queue.length trt.tqueue))
+    sim.tasks;
+  Memsys.iter_occupancy sim.ms (fun sid depth ->
+      Ctr.occ_add sim.ctrs (Ctr.Kstruct sid) depth);
   (match sim.tr with
   | Some tr when now mod tr.Tr.sample_every = 0 ->
     Array.iter
@@ -1520,10 +1532,13 @@ let diagnose (sim : t) : string =
   Buffer.contents buf
 
 (** Run the circuit's root task with [args] to completion.  Returns
-    the root's return value, the final memory, and statistics.
-    [?tracer] streams events and stall accounting into a
-    [Muir_trace.Trace.t]; tracing is strictly passive, so cycle counts
-    and all stats are identical with it on or off. *)
+    the root's return value, the final memory, statistics, and the
+    always-on performance-counter bank (exact fires, per-cause stall
+    cycles and occupancy integrals — maintained whether or not a
+    tracer is attached).  [?tracer] additionally streams timeline
+    events into a [Muir_trace.Trace.t]; tracing is strictly passive,
+    so cycle counts, stats and counters are identical with it on or
+    off. *)
 let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
     ?(deadlock_window = 50_000) (c : G.circuit) : result =
   let t_start = Unix.gettimeofday () in
@@ -1545,35 +1560,40 @@ let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
   (match sim.root_result with
   | None -> raise (Cycle_limit max_cycles)
   | Some _ -> ());
-  (* Close the books: fold every still-live instance's accounting. *)
+  (* Close the books: fold every still-live instance's accounting into
+     the whole-run counter bank. *)
+  sim.ctrs.Ctr.final_cycle <- sim.now;
   (match sim.tr with
-  | Some tr ->
-    tr.Tr.final_cycle <- sim.now;
-    Array.iter
-      (fun trt ->
-        List.iter
-          (fun inst ->
-            match inst.i_prof with
-            | Some ip ->
-              Array.iteri
-                (fun i np ->
-                  let n = inst.inodes.(i) in
-                  Tr.fold tr ~task:inst.it.tid ~node:n.nr.nid
-                    ~fires:n.nr_fired ~born:ip.born ~upto:sim.now np)
-                ip.nprofs
-            | None -> ())
-          trt.tinstances)
-      sim.tasks
+  | Some tr -> tr.Tr.final_cycle <- sim.now
   | None -> ());
+  Array.iter
+    (fun trt ->
+      List.iter
+        (fun inst ->
+          let ip = inst.i_prof in
+          Array.iteri
+            (fun i np ->
+              let n = inst.inodes.(i) in
+              Ctr.fold sim.ctrs ~task:inst.it.tid ~node:n.nr.nid
+                ~fires:n.nr_fired ~born:ip.born ~upto:sim.now np)
+            ip.nprofs)
+        trt.tinstances)
+    sim.tasks;
   let res = Option.get sim.root_result in
   let value = if Array.length res > 1 then res.(1) else T.VBool true in
   let dma = dma_cycles c in
   let wall = Unix.gettimeofday () -. t_start in
+  (* Derived rates must stay printable on degenerate runs: a zero-cycle
+     program or a wall-clock too small to resolve would otherwise put
+     nan/inf into profiles and machine-read reports. *)
+  let finite f = if Float.is_finite f then f else 0.0 in
   let per_cycle total =
-    if sim.now = 0 then 0.0 else float_of_int total /. float_of_int sim.now
+    if sim.now = 0 then 0.0
+    else finite (float_of_int total /. float_of_int sim.now)
   in
   { value;
     memory = sim.ms.mem;
+    counters = sim.ctrs;
     stats =
       { cycles = sim.now; dma_cycles = dma; total_cycles = sim.now + dma;
         fires = sim.fires;
@@ -1592,6 +1612,6 @@ let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
         mem_requests = sim.ms.total_requests;
         wall_seconds = wall;
         cycles_per_sec =
-          (if wall > 0.0 then float_of_int sim.now /. wall else 0.0);
+          (if wall > 0.0 then finite (float_of_int sim.now /. wall) else 0.0);
         woken_per_cycle = per_cycle sim.woken;
         live_nodes_per_cycle = per_cycle sim.node_cycles } }

@@ -1,0 +1,205 @@
+(** Always-on, hardware-style performance counters.
+
+    The μIR paper reads every evaluation number out of per-structure
+    hardware counters in the generated RTL — queue occupancies, memory
+    stalls, tile utilization — not out of an instruction trace.  This
+    module is the software analogue: a bank of exact counters the
+    kernel maintains unconditionally, O(1) per event, independent of
+    the opt-in event ring in {!Trace} (whose fixed capacity silently
+    sheds history on long runs).  The ring remains the source for
+    timelines (Chrome trace, VCD, critical path); the counter bank is
+    the source for every aggregate number: profiles, run reports, the
+    bench regression gate and the DSE greedy strategy.
+
+    {2 The stall taxonomy}
+
+    Every node's lifetime is partitioned into intervals, each labelled
+    with exactly one cause.  The kernel transitions a node's label at
+    the only points its state can change — a successful firing, a
+    failed (woken) fire attempt, invocation drain — so the labels
+    partition the node's lifetime {e exactly}:
+
+      busy + Σ stall-cause cycles = lifetime cycles
+
+    for every node, enforced over all workloads by
+    [test/test_counters.ml] (and cross-checked against the traced
+    taxonomy in [test/test_trace.ml]).
+
+    - [Busy]: the node fired this cycle.
+    - [Operand]: at least one wired input channel is empty.
+    - [Backpressure]: inputs ready but the output side is full (the
+      node's pipeline register file cannot accept another result
+      because downstream has not drained).
+    - [Memory]: a memory node blocked on its outstanding-request
+      window, i.e. waiting on bank queues, conflicts or misses.
+    - [Structural]: a non-memory hardware hazard — the function unit's
+      initiation interval, or a call/spawn facing a full child task
+      queue.
+    - [Sync]: a sync node parked until spawned children complete.
+    - [Idle]: no invocation in flight; the node has no work. *)
+
+type cause =
+  | Busy
+  | Operand
+  | Backpressure
+  | Memory
+  | Structural
+  | Sync
+  | Idle
+
+let ncauses = 7
+
+let cause_index = function
+  | Busy -> 0
+  | Operand -> 1
+  | Backpressure -> 2
+  | Memory -> 3
+  | Structural -> 4
+  | Sync -> 5
+  | Idle -> 6
+
+let cause_of_index = [| Busy; Operand; Backpressure; Memory; Structural;
+                        Sync; Idle |]
+
+let cause_name = function
+  | Busy -> "busy"
+  | Operand -> "operand-wait"
+  | Backpressure -> "backpressure"
+  | Memory -> "memory-outstanding"
+  | Structural -> "structural-hazard"
+  | Sync -> "sync-wait"
+  | Idle -> "idle"
+
+(** What an occupancy counter measures: a task's invocation queue or
+    the total queued sub-requests across a memory structure's banks. *)
+type key = Ktask of int | Kstruct of int
+
+(* ------------------------------------------------------------------ *)
+(* Per-instance interval accounting                                     *)
+
+module Prof = struct
+  (** One node's running attribution: the current cause label, the
+      cycle it was entered, and the per-cause accumulators. *)
+  type nprof = {
+    mutable st : int;      (** current cause (a [cause_index]) *)
+    mutable since : int;   (** cycle the current label started *)
+    acc : int array;       (** cycles per cause, [ncauses] wide *)
+  }
+
+  (** The per-instance profile: one [nprof] per node, indexed by the
+      node's drain-order index. *)
+  type iprof = { born : int; nprofs : nprof array }
+
+  let make ~(born : int) ~(nnodes : int) : iprof =
+    { born;
+      nprofs =
+        Array.init nnodes (fun _ ->
+            { st = cause_index Idle; since = born;
+              acc = Array.make ncauses 0 }) }
+
+  (** Close the current interval at [now] and relabel; true if the
+      label actually changed (callers use this to avoid flooding the
+      event ring with repeated stall events). *)
+  let transition (np : nprof) (st : int) (now : int) : bool =
+    if now > np.since then begin
+      np.acc.(np.st) <- np.acc.(np.st) + (now - np.since);
+      np.since <- now
+    end;
+    if np.st = st then false
+    else begin
+      np.st <- st;
+      true
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The counter bank                                                     *)
+
+(** Whole-run counters for one static (task, node) pair, across every
+    instance/tile/context that instantiated it. *)
+type node_ctr = {
+  mutable n_fires : int;
+  mutable n_span : int;   (** Σ instance lifetimes, in cycles *)
+  n_acc : int array;      (** cycles per cause; Σ = [n_span] *)
+}
+
+(** Occupancy integral for one queue or memory structure: sampled
+    every cycle, so [o_sum / o_cycles] is the exact time-average depth
+    and [o_max] the high-water mark — no histogram, no ring, O(1)
+    state per structure. *)
+type occ_ctr = {
+  mutable o_cycles : int;  (** cycles sampled *)
+  mutable o_sum : int;     (** Σ depth over those cycles *)
+  mutable o_max : int;     (** high-water mark *)
+}
+
+type t = {
+  nodes : (int * int, node_ctr) Hashtbl.t;   (** (task, node) counters *)
+  occ : (key, occ_ctr) Hashtbl.t;
+  mutable spawns : int;    (** task invocations enqueued *)
+  mutable syncs : int;     (** sync joins completed *)
+  mutable final_cycle : int;
+}
+
+let create () : t =
+  { nodes = Hashtbl.create 128; occ = Hashtbl.create 16;
+    spawns = 0; syncs = 0; final_cycle = 0 }
+
+let node_ctr (c : t) ~(task : int) ~(node : int) : node_ctr =
+  match Hashtbl.find_opt c.nodes (task, node) with
+  | Some g -> g
+  | None ->
+    let g = { n_fires = 0; n_span = 0; n_acc = Array.make ncauses 0 } in
+    Hashtbl.add c.nodes (task, node) g;
+    g
+
+(** Fold a finished instance's accounting into the whole-run counters.
+    [upto] is one past the last cycle the instance existed; closing
+    each node's open interval there is what makes the conservation
+    invariant exact. *)
+let fold (c : t) ~(task : int) ~(node : int) ~(fires : int) ~(born : int)
+    ~(upto : int) (np : Prof.nprof) : unit =
+  ignore (Prof.transition np np.st upto);
+  let g = node_ctr c ~task ~node in
+  g.n_fires <- g.n_fires + fires;
+  g.n_span <- g.n_span + (upto - born);
+  Array.iteri (fun i v -> g.n_acc.(i) <- g.n_acc.(i) + v) np.acc
+
+(** Accumulate one cycle's occupancy sample into [key]'s integral. *)
+let occ_add (c : t) (key : key) (depth : int) : unit =
+  match Hashtbl.find_opt c.occ key with
+  | Some o ->
+    o.o_cycles <- o.o_cycles + 1;
+    o.o_sum <- o.o_sum + depth;
+    if depth > o.o_max then o.o_max <- depth
+  | None ->
+    Hashtbl.add c.occ key
+      { o_cycles = 1; o_sum = depth; o_max = depth }
+
+(* ------------------------------------------------------------------ *)
+(* Reading the bank                                                     *)
+
+let iter_nodes (f : task:int -> node:int -> node_ctr -> unit) (c : t) : unit =
+  Hashtbl.iter (fun (task, node) g -> f ~task ~node g) c.nodes
+
+let find_node (c : t) ~(task : int) ~(node : int) : node_ctr option =
+  Hashtbl.find_opt c.nodes (task, node)
+
+let total_fires (c : t) : int =
+  Hashtbl.fold (fun _ g acc -> acc + g.n_fires) c.nodes 0
+
+(** Σ stall cycles for [cause] across the whole bank. *)
+let total_cause (c : t) (cause : cause) : int =
+  let i = cause_index cause in
+  Hashtbl.fold (fun _ g acc -> acc + g.n_acc.(i)) c.nodes 0
+
+let occ_keys (c : t) : key list =
+  Hashtbl.fold (fun k _ acc -> k :: acc) c.occ []
+  |> List.sort compare
+
+let find_occ (c : t) (key : key) : occ_ctr option =
+  Hashtbl.find_opt c.occ key
+
+let occ_mean (o : occ_ctr) : float =
+  if o.o_cycles = 0 then 0.0
+  else float_of_int o.o_sum /. float_of_int o.o_cycles

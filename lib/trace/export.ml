@@ -5,19 +5,10 @@
 module G = Muir_core.Graph
 module Tr = Trace
 
-let json_escape (s : string) : string =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* RFC 8259 string escaping lives in {!Json}; hostile node/structure
+   names (quotes, backslashes, control characters) are covered by the
+   strict-parser round-trip test in [test/test_trace.ml]. *)
+let json_escape = Json.escape
 
 let node_name (c : G.circuit) (tid : int) (nid : int) : string =
   match

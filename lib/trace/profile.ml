@@ -1,11 +1,14 @@
-(** The bottleneck profiler: turns a raw {!Trace.t} into per-node
-    stall attribution, per-structure rollups, a critical path over the
+(** The bottleneck profiler: turns the always-on {!Counters} bank —
+    plus, optionally, a {!Trace.t} event ring — into per-node stall
+    attribution, per-structure rollups, a critical path over the
     fire-event DAG, and a human-readable report — the instrument the
     paper's §7 loop uses to decide {e which} μopt pass to apply next.
 
-    Attribution is exact (it comes from the whole-run aggregates, not
-    the ring); the critical path is computed over the ring's retained
-    window, so on very long runs it describes the tail of the run. *)
+    Attribution is exact (it comes from the whole-run counter bank,
+    not the ring), so a profile needs no tracer at all; the critical
+    path and occupancy histograms come from the ring's retained
+    window when one is supplied, so on very long runs they describe
+    the tail of the run. *)
 
 module G = Muir_core.Graph
 module Dot = Muir_core.Dot
@@ -304,36 +307,53 @@ let key_name (c : G.circuit) : Tr.key -> string = function
   | Tr.Ktask tid -> "queue:" ^ (G.task c tid).tname
   | Tr.Kstruct sid -> (G.structure c sid).sname
 
-let of_trace (c : G.circuit) (tr : Tr.t) : t =
-  let rows =
-    Hashtbl.fold
-      (fun (tid, nid) (g : Tr.agg) acc ->
-        let t = G.task c tid in
-        match List.find_opt (fun (n : G.node) -> n.nid = nid) t.nodes with
-        | None -> acc
-        | Some n ->
+(** Build a profile from a finished run's counter bank.  [?tracer]
+    adds the ring-derived views — critical path, occupancy histograms,
+    event totals; without one those fields are empty and everything
+    else is still exact. *)
+let of_run (c : G.circuit) ?tracer (ctrs : Counters.t) : t =
+  let acc = ref [] in
+  Counters.iter_nodes
+    (fun ~task:tid ~node:nid (g : Counters.node_ctr) ->
+      let t = G.task c tid in
+      match List.find_opt (fun (n : G.node) -> n.nid = nid) t.nodes with
+      | None -> ()
+      | Some n ->
+        acc :=
           { r_task = tid; r_tname = t.tname; r_node = nid;
             r_kind = G.kind_to_string n.kind; r_label = n.label;
-            r_fires = g.g_fires; r_span = g.g_span;
-            r_acc = Array.copy g.g_acc; r_sref = G.node_structure c n }
-          :: acc)
-      tr.agg []
-    |> List.sort (fun a b ->
-           compare
-             (row_resource_stalls b, row_stalls b, b.r_task, b.r_node)
-             (row_resource_stalls a, row_stalls a, a.r_task, a.r_node))
+            r_fires = g.n_fires; r_span = g.n_span;
+            r_acc = Array.copy g.n_acc; r_sref = G.node_structure c n }
+          :: !acc)
+    ctrs;
+  let rows =
+    List.sort
+      (fun a b ->
+        compare
+          (row_resource_stalls b, row_stalls b, b.r_task, b.r_node)
+          (row_resource_stalls a, row_stalls a, a.r_task, a.r_node))
+      !acc
   in
   let occ =
-    List.map
-      (fun k -> (key_name c k, Tr.occupancy_hist tr k))
-      (Tr.occupancy_keys tr)
+    match tracer with
+    | None -> []
+    | Some tr ->
+      List.map
+        (fun k -> (key_name c k, Tr.occupancy_hist tr k))
+        (Tr.occupancy_keys tr)
   in
-  { p_name = c.cname; p_cycles = tr.final_cycle;
+  { p_name = c.cname; p_cycles = ctrs.Counters.final_cycle;
     p_fires = List.fold_left (fun a r -> a + r.r_fires) 0 rows;
     p_rows = rows; p_structs = structs_of_rows c rows;
-    p_crit = critical c (Tr.events tr); p_occ = occ;
-    p_events_total = Tr.total_events tr;
-    p_events_kept = Tr.retained_events tr }
+    p_crit =
+      (match tracer with
+      | None -> None
+      | Some tr -> critical c (Tr.events tr));
+    p_occ = occ;
+    p_events_total =
+      (match tracer with None -> 0 | Some tr -> Tr.total_events tr);
+    p_events_kept =
+      (match tracer with None -> 0 | Some tr -> Tr.retained_events tr) }
 
 (* ------------------------------------------------------------------ *)
 (* Report                                                               *)

@@ -1,41 +1,28 @@
-(** Cycle-level observability for the simulation kernel.
+(** Cycle-level event tracing for the simulation kernel.
 
     A {!t} is a low-overhead event sink the kernel writes into while
     it runs: node firings, stall-cause transitions and per-structure
     occupancy samples land in a fixed-size ring buffer (old events are
-    overwritten, aggregates are exact for the whole run).  Tracing is
-    strictly opt-in — the kernel takes an [option] and every hook is a
-    single match when disabled — and strictly passive: nothing in here
-    feeds back into simulation timing, which is what lets the
-    kernel-equivalence goldens in [test/test_sim.ml] assert identical
-    cycle counts with tracing off and on.
+    overwritten).  Tracing is strictly opt-in — the kernel takes an
+    [option] and every hook is a single match when disabled — and
+    strictly passive: nothing in here feeds back into simulation
+    timing, which is what lets the kernel-equivalence goldens in
+    [test/test_sim.ml] assert identical cycle counts with tracing off
+    and on.
 
-    {2 The stall taxonomy}
+    Exact whole-run aggregates do {e not} live here any more: the
+    always-on counter bank in {!Counters} owns the stall taxonomy,
+    interval accounting and per-(task, node) totals, and is maintained
+    by the kernel whether or not a tracer is attached.  The ring is
+    purely for timelines — the Chrome trace and VCD exporters and the
+    critical-path extractor — so losing old events to overwrite (or
+    running with [~capacity:0]) costs timeline depth, never a number. *)
 
-    Every node's lifetime is partitioned into intervals, each labelled
-    with exactly one cause.  The kernel transitions a node's label at
-    the only points its state can change — a successful firing, a
-    failed (woken) fire attempt, invocation drain — so the labels
-    partition the node's lifetime {e exactly}:
+(* Re-export the taxonomy so existing users of [Trace.Busy],
+   [Trace.Prof] and [Trace.Ktask] keep compiling; the definitions live
+   in {!Counters}, which the kernel maintains unconditionally. *)
 
-      busy + Σ stall-cause cycles = lifetime cycles
-
-    for every node, enforced over all workloads by [test/test_trace.ml].
-
-    - [Busy]: the node fired this cycle.
-    - [Operand]: at least one wired input channel is empty.
-    - [Backpressure]: inputs ready but the output side is full (the
-      node's pipeline register file cannot accept another result
-      because downstream has not drained).
-    - [Memory]: a memory node blocked on its outstanding-request
-      window, i.e. waiting on bank queues, conflicts or misses.
-    - [Structural]: a non-memory hardware hazard — the function unit's
-      initiation interval, or a call/spawn facing a full child task
-      queue.
-    - [Sync]: a sync node parked until spawned children complete.
-    - [Idle]: no invocation in flight; the node has no work. *)
-
-type cause =
+type cause = Counters.cause =
   | Busy
   | Operand
   | Backpressure
@@ -44,32 +31,14 @@ type cause =
   | Sync
   | Idle
 
-let ncauses = 7
+let ncauses = Counters.ncauses
+let cause_index = Counters.cause_index
+let cause_of_index = Counters.cause_of_index
+let cause_name = Counters.cause_name
 
-let cause_index = function
-  | Busy -> 0
-  | Operand -> 1
-  | Backpressure -> 2
-  | Memory -> 3
-  | Structural -> 4
-  | Sync -> 5
-  | Idle -> 6
+type key = Counters.key = Ktask of int | Kstruct of int
 
-let cause_of_index = [| Busy; Operand; Backpressure; Memory; Structural;
-                        Sync; Idle |]
-
-let cause_name = function
-  | Busy -> "busy"
-  | Operand -> "operand-wait"
-  | Backpressure -> "backpressure"
-  | Memory -> "memory-outstanding"
-  | Structural -> "structural-hazard"
-  | Sync -> "sync-wait"
-  | Idle -> "idle"
-
-(** What an occupancy sample measures: a task's invocation queue or
-    the total queued sub-requests across a memory structure's banks. *)
-type key = Ktask of int | Kstruct of int
+module Prof = Counters.Prof
 
 type ev =
   | Efire of { c : int; task : int; inst : int; node : int; lat : int }
@@ -80,58 +49,11 @@ let ev_cycle = function
   | Efire { c; _ } | Estall { c; _ } | Eocc { c; _ } -> c
 
 (* ------------------------------------------------------------------ *)
-(* Per-instance interval accounting                                     *)
-
-module Prof = struct
-  (** One node's running attribution: the current cause label, the
-      cycle it was entered, and the per-cause accumulators. *)
-  type nprof = {
-    mutable st : int;      (** current cause (a [cause_index]) *)
-    mutable since : int;   (** cycle the current label started *)
-    acc : int array;       (** cycles per cause, [ncauses] wide *)
-  }
-
-  (** The per-instance profile: one [nprof] per node, indexed by the
-      node's drain-order index. *)
-  type iprof = { born : int; nprofs : nprof array }
-
-  let make ~(born : int) ~(nnodes : int) : iprof =
-    { born;
-      nprofs =
-        Array.init nnodes (fun _ ->
-            { st = cause_index Idle; since = born;
-              acc = Array.make ncauses 0 }) }
-
-  (** Close the current interval at [now] and relabel; true if the
-      label actually changed (callers use this to avoid flooding the
-      ring with repeated stall events). *)
-  let transition (np : nprof) (st : int) (now : int) : bool =
-    if now > np.since then begin
-      np.acc.(np.st) <- np.acc.(np.st) + (now - np.since);
-      np.since <- now
-    end;
-    if np.st = st then false
-    else begin
-      np.st <- st;
-      true
-    end
-end
-
-(* ------------------------------------------------------------------ *)
 (* The trace sink                                                       *)
-
-(** Whole-run aggregate for one static (task, node) pair, across every
-    instance/tile/context that instantiated it. *)
-type agg = {
-  mutable g_fires : int;
-  mutable g_span : int;   (** Σ instance lifetimes, in cycles *)
-  g_acc : int array;      (** cycles per cause; Σ = [g_span] *)
-}
 
 type t = {
   ring : ev array;
   mutable head : int;     (** total events ever emitted *)
-  agg : (int * int, agg) Hashtbl.t;   (** (task, node) aggregates *)
   occ : (key, (int, int) Hashtbl.t) Hashtbl.t;
       (** occupancy histograms: key -> depth -> samples *)
   occ_last : (key, int) Hashtbl.t;
@@ -142,14 +64,18 @@ type t = {
 
 let dummy_ev = Eocc { c = 0; key = Ktask 0; depth = 0 }
 
+(** [~capacity:0] is legal: the tracer still collects occupancy
+    histograms and event totals but retains no timeline — useful to
+    prove the counter bank is ring-independent. *)
 let create ?(capacity = 1 lsl 18) ?(sample_every = 1) () : t =
-  { ring = Array.make (max capacity 1) dummy_ev; head = 0;
-    agg = Hashtbl.create 128; occ = Hashtbl.create 16;
+  { ring = Array.make (max capacity 0) dummy_ev; head = 0;
+    occ = Hashtbl.create 16;
     occ_last = Hashtbl.create 16; sample_every = max sample_every 1;
     final_cycle = 0 }
 
 let emit (tr : t) (e : ev) : unit =
-  tr.ring.(tr.head mod Array.length tr.ring) <- e;
+  let cap = Array.length tr.ring in
+  if cap > 0 then tr.ring.(tr.head mod cap) <- e;
   tr.head <- tr.head + 1
 
 (** Record one occupancy sample.  The histogram counts every sample;
@@ -170,25 +96,6 @@ let occ_sample (tr : t) ~(c : int) (key : key) (depth : int) : unit =
   Hashtbl.replace h depth
     (1 + Option.value ~default:0 (Hashtbl.find_opt h depth))
 
-(** Fold a finished instance's accounting into the whole-run
-    aggregates.  [upto] is one past the last cycle the instance
-    existed; closing each node's open interval there is what makes the
-    conservation invariant exact. *)
-let fold (tr : t) ~(task : int) ~(node : int) ~(fires : int) ~(born : int)
-    ~(upto : int) (np : Prof.nprof) : unit =
-  ignore (Prof.transition np np.st upto);
-  let g =
-    match Hashtbl.find_opt tr.agg (task, node) with
-    | Some g -> g
-    | None ->
-      let g = { g_fires = 0; g_span = 0; g_acc = Array.make ncauses 0 } in
-      Hashtbl.add tr.agg (task, node) g;
-      g
-  in
-  g.g_fires <- g.g_fires + fires;
-  g.g_span <- g.g_span + (upto - born);
-  Array.iteri (fun i v -> g.g_acc.(i) <- g.g_acc.(i) + v) np.acc
-
 (* ------------------------------------------------------------------ *)
 (* Reading the ring                                                     *)
 
@@ -199,8 +106,10 @@ let retained_events (tr : t) = min tr.head (Array.length tr.ring)
     cycle order). *)
 let events (tr : t) : ev list =
   let cap = Array.length tr.ring in
-  let start = max 0 (tr.head - cap) in
-  List.init (tr.head - start) (fun i -> tr.ring.((start + i) mod cap))
+  if cap = 0 then []
+  else
+    let start = max 0 (tr.head - cap) in
+    List.init (tr.head - start) (fun i -> tr.ring.((start + i) mod cap))
 
 (** Occupancy histogram for [key]: (depth, samples) sorted by depth. *)
 let occupancy_hist (tr : t) (key : key) : (int * int) list =

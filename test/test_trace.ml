@@ -40,7 +40,7 @@ let test_conservation (w : W.t) () =
   List.iter
     (fun (sname, mk) ->
       let c, tracer, r = traced_run w (mk ()) in
-      let prof = P.of_trace c tracer in
+      let prof = P.of_run c ~tracer r.counters in
       Alcotest.(check bool)
         (Fmt.str "%s/%s: profile has rows" w.wname sname)
         true
@@ -67,15 +67,16 @@ let test_conservation (w : W.t) () =
 (* Aggregates must not depend on ring retention. *)
 let test_ring_independence () =
   let w = W.find "gemm" in
-  let _, tr_small, _ = traced_run ~capacity:16 w [] in
-  let c, tr_big, _ = traced_run ~capacity:(1 lsl 20) w [] in
+  let _, tr_small, r_small = traced_run ~capacity:16 w [] in
+  let c, tr_big, r_big = traced_run ~capacity:(1 lsl 20) w [] in
   Alcotest.(check bool)
     "small ring overwrote events" true
     (Tr.retained_events tr_small < Tr.total_events tr_small);
   Alcotest.(check int)
     "same total events" (Tr.total_events tr_big)
     (Tr.total_events tr_small);
-  let ps = P.of_trace c tr_small and pb = P.of_trace c tr_big in
+  let ps = P.of_run c ~tracer:tr_small r_small.counters
+  and pb = P.of_run c ~tracer:tr_big r_big.counters in
   List.iter2
     (fun (a : P.row) (b : P.row) ->
       Alcotest.(check int)
@@ -235,6 +236,35 @@ let test_chrome_export () =
         && String.sub json 0 15 = "{\"traceEvents\":"))
     [ "saxpy"; "gemm"; "fib" ]
 
+(* Hostile names: a circuit name and node labels stuffed with every
+   character class RFC 8259 forces us to escape.  The Chrome export
+   must still pass the strict parser above (which rejects raw control
+   characters and bad escapes), and the library's own Json module must
+   round-trip the strings exactly. *)
+let hostile = "ev\"il\\na\nme\twith\r\bctrl\x01\x1f/end"
+
+let test_hostile_names () =
+  let w = W.find "saxpy" in
+  let p = W.program w in
+  let c = Muir_core.Build.circuit ~name:hostile p in
+  Muir_core.Graph.iter_tasks
+    (fun (t : Muir_core.Graph.task) ->
+      List.iter
+        (fun (n : Muir_core.Graph.node) -> n.label <- hostile)
+        t.nodes)
+    c;
+  let tracer = Tr.create ~capacity:(1 lsl 16) () in
+  ignore (Muir_sim.Sim.run ~tracer c);
+  let json = Ex.chrome c tracer in
+  (try parse_json json with
+  | Bad_json msg ->
+    Alcotest.failf "hostile names broke the Chrome JSON: %s" msg);
+  (* And the escape really is lossless, not merely parseable. *)
+  let module J = Muir_trace.Json in
+  match J.parse (J.to_string (J.Str hostile)) with
+  | J.Str s -> Alcotest.(check string) "escape round-trips" hostile s
+  | _ -> Alcotest.fail "string did not parse back as a string"
+
 let count_substring (hay : string) (needle : string) : int =
   let nl = String.length needle in
   let rec go from acc =
@@ -265,7 +295,7 @@ let test_critical_path () =
     (fun name ->
       let w = W.find name in
       let c, tracer, r = traced_run ~capacity:(1 lsl 18) w [] in
-      let prof = P.of_trace c tracer in
+      let prof = P.of_run c ~tracer r.counters in
       match prof.p_crit with
       | None -> Alcotest.failf "%s: no critical path" name
       | Some cr ->
@@ -287,8 +317,8 @@ let test_critical_path () =
    stops stalling once the loop stack deepens/tiles it. *)
 let test_bottleneck_reduction () =
   let w = W.find "gemm" in
-  let c0, tr0, _ = traced_run w [] in
-  let p0 = P.of_trace c0 tr0 in
+  let c0, tr0, r0 = traced_run w [] in
+  let p0 = P.of_run c0 ~tracer:tr0 r0.counters in
   let blamed =
     match List.find_opt (fun (s : P.struct_row) -> s.s_stalls > 0) p0.p_structs with
     | Some s -> s
@@ -296,8 +326,8 @@ let test_bottleneck_reduction () =
   in
   let share0 = P.struct_share p0 blamed.s_name in
   Alcotest.(check bool) "baseline share positive" true (share0 > 0.0);
-  let c1, tr1, _ = traced_run w (Muir_opt.Stacks.loop_stack ()) in
-  let p1 = P.of_trace c1 tr1 in
+  let c1, tr1, r1 = traced_run w (Muir_opt.Stacks.loop_stack ()) in
+  let p1 = P.of_run c1 ~tracer:tr1 r1.counters in
   let share1 = P.struct_share p1 blamed.s_name in
   if share1 >= share0 then
     Alcotest.failf "loop stack did not reduce %s stall share: %.4f -> %.4f"
@@ -316,6 +346,7 @@ let () =
         [ Alcotest.test_case "ring independence" `Quick
             test_ring_independence;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "hostile names" `Quick test_hostile_names;
           Alcotest.test_case "vcd export" `Quick test_vcd_export;
           Alcotest.test_case "critical path" `Quick test_critical_path;
           Alcotest.test_case "bottleneck reduction" `Quick
