@@ -452,27 +452,85 @@ let ablation () =
 (* Simulation-kernel observability: how fast the event-driven kernel    *)
 (* runs and how sparse its wake lists are                               *)
 
-let kernel () =
+let kernel ?(jobs = 1) ?json () =
   header
-    "Simulation kernel: wall-clock throughput and wake-list sparsity per \
-     workload";
-  Fmt.pr "%-10s %10s %8s %12s %10s %10s %8s@." "bench" "cycles" "wall-s"
-    "cycles/sec" "woken/cyc" "nodes/cyc" "sparsity";
+    (Fmt.str
+       "Simulation kernel: wall-clock throughput, wake-list sparsity and \
+        GC pressure per workload (jobs=%d)"
+       jobs);
+  Fmt.pr "%-10s %10s %8s %12s %10s %10s %8s %9s %6s@." "bench" "cycles"
+    "wall-s" "cycles/sec" "woken/cyc" "nodes/cyc" "sparsity" "minW/cyc"
+    "majGC";
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let p = W.program w in
+        let c = Muir_core.Build.circuit ~name:w.wname p in
+        let r = Muir_sim.Sim.run ~jobs c in
+        let s = r.Muir_sim.Sim.stats in
+        let sparsity =
+          if s.live_nodes_per_cycle > 0.0 then
+            s.woken_per_cycle /. s.live_nodes_per_cycle
+          else 0.0
+        in
+        Fmt.pr "%-10s %10d %8.3f %12.0f %10.1f %10.1f %7.1f%% %9.4f %6d@."
+          w.wname s.cycles s.wall_seconds s.cycles_per_sec s.woken_per_cycle
+          s.live_nodes_per_cycle (100.0 *. sparsity)
+          s.gc_minor_words_per_cycle s.gc_major_collections;
+        (w.wname, s))
+      W.all
+  in
+  (* Zero-allocation guard: the steady-state fire path must not touch
+     the minor heap.  The sampled rate excludes construction warm-up
+     (second half of the run); 0.05 words/cycle of slack covers the
+     periodic sampling itself. *)
   List.iter
-    (fun (w : W.t) ->
-      let p = W.program w in
-      let c = Muir_core.Build.circuit ~name:w.wname p in
-      let r = Muir_sim.Sim.run c in
-      let s = r.Muir_sim.Sim.stats in
-      let sparsity =
-        if s.live_nodes_per_cycle > 0.0 then
-          s.woken_per_cycle /. s.live_nodes_per_cycle
-        else 0.0
-      in
-      Fmt.pr "%-10s %10d %8.3f %12.0f %10.1f %10.1f %7.1f%%@." w.wname
-        s.cycles s.wall_seconds s.cycles_per_sec s.woken_per_cycle
-        s.live_nodes_per_cycle (100.0 *. sparsity))
-    W.all;
+    (fun name ->
+      let s = List.assoc name rows in
+      if s.Muir_sim.Sim.gc_minor_words_per_cycle >= 0.05 then begin
+        Fmt.epr
+          "zero-allocation guard failed: %s steady-state allocates %.4f \
+           minor words/cycle (limit 0.05)@."
+          name s.Muir_sim.Sim.gc_minor_words_per_cycle;
+        exit 1
+      end
+      else
+        Fmt.pr
+          "zero-allocation guard: %s steady-state %.4f minor words/cycle \
+           (< 0.05)@."
+          name s.Muir_sim.Sim.gc_minor_words_per_cycle)
+    [ "gemm"; "fib" ];
+  (match json with
+  | None -> ()
+  | Some path ->
+    let module J = Muir_trace.Json in
+    let j =
+      J.Obj
+        [ ("jobs", J.Int jobs);
+          ( "workloads",
+            J.Arr
+              (List.map
+                 (fun (name, (s : Muir_sim.Sim.stats)) ->
+                   J.Obj
+                     [ ("name", J.Str name);
+                       ("cycles", J.Int s.cycles);
+                       ("wall_seconds", J.Float s.wall_seconds);
+                       ("cycles_per_sec", J.Float s.cycles_per_sec);
+                       ("woken_per_cycle", J.Float s.woken_per_cycle);
+                       ( "live_nodes_per_cycle",
+                         J.Float s.live_nodes_per_cycle );
+                       ( "gc_minor_words_per_cycle",
+                         J.Float s.gc_minor_words_per_cycle );
+                       ( "gc_major_collections",
+                         J.Int s.gc_major_collections ) ])
+                 rows) ) ]
+    in
+    let oc = open_out path in
+    output_string oc (J.to_string j);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "wrote kernel metrics for %d workloads to %s@."
+      (List.length rows) path);
   (* Tracing-disabled overhead guard: with no tracer attached the
      instrumented kernel must be indistinguishable from noise.  Two
      interleaved batches of untraced GEMM runs must land within 3% of
@@ -794,7 +852,7 @@ let experiments : (string * (unit -> unit)) list =
     ("table4", table4);
     ("fig1", fig1);
     ("ablation", ablation);
-    ("kernel", kernel);
+    ("kernel", fun () -> kernel ());
     ("profile", profile);
     ("explore", explore);
     ("bechamel", bechamel) ]
@@ -827,6 +885,22 @@ let () =
     | [] -> []
   in
   match args with
+  | "kernel" :: rest ->
+    (* kernel [--jobs N] [--json PATH] *)
+    let rec parse jobs json = function
+      | [] -> kernel ~jobs ?json ()
+      | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j json rest
+        | _ ->
+          Fmt.epr "kernel: bad --jobs %S@." n;
+          exit 2)
+      | "--json" :: path :: rest -> parse jobs (Some path) rest
+      | a :: _ ->
+        Fmt.epr "usage: bench kernel [--jobs N] [--json PATH] (got %S)@." a;
+        exit 2
+    in
+    parse 1 None rest
   | [ "--json"; path ] -> suite_json path
   | "--json" :: _ ->
     Fmt.epr "usage: bench --json REPORT.json@.";

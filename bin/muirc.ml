@@ -4,7 +4,7 @@
      muirc graph    prog.mc            print the μIR circuit
      muirc check    prog.mc [-O pass]  static analysis (deadlock, races)
      muirc chisel   prog.mc [-o f]     emit Chisel for the accelerator
-     muirc simulate prog.mc [-O pass]  cycle-accurate simulation
+     muirc simulate prog.mc [-O pass] [--jobs N]  cycle-accurate simulation
      muirc profile  prog.mc [-O pass]  traced simulation + stall report
      muirc synth    prog.mc [-O pass]  FPGA/ASIC synthesis estimates
      muirc workload name [-O pass]     same, for a bundled benchmark
@@ -227,17 +227,25 @@ let report_simulation (r : Muir_sim.Sim.result) =
     r.stats.invocations
 
 let simulate_cmd =
-  let run path passes unroll =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the simulation across $(docv) domains (results are \
+             bit-identical for every job count).")
+  in
+  let run path passes unroll jobs =
     handle_frontend (fun () ->
         let _, c = optimized_circuit ~unroll path passes in
-        let r = Muir_sim.Sim.run c in
+        let r = Muir_sim.Sim.run ~jobs c in
         report_simulation r;
         Fmt.pr "return value      %s@."
           (Muir_ir.Types.value_to_string r.value))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of the accelerator.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
+    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ jobs_arg)
 
 let profile_cmd =
   let target_arg =

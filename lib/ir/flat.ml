@@ -1,0 +1,89 @@
+(** Flat (unboxed) token encoding for the hot execution substrates.
+
+    A {!Types.value} is a heap-allocated variant; pushing one through
+    a channel costs minor-heap words on every hop.  The cycle
+    simulator instead carries tokens as four parallel columns — an
+    integer tag, a native integer, a float and a boxed-object slot —
+    so the steady-state fire path moves words between preallocated
+    arrays without allocating.  This module owns the codec: the tag
+    space, the flatten/materialize conversions at the boxed boundary,
+    and an intern table so materializing common small integers and
+    constants does not allocate either.
+
+    Invariants:
+    - [tint] rows always hold an integer that round-trips through the
+      native [int]; an [int64] that does not fit is kept boxed under
+      [tobj].
+    - [tobj] rows keep the original box ([VTensor], oversized [VInt]);
+      materializing returns it unchanged.
+    - [tabsent] marks "no token here" in tables that need a presence
+      mark inline (wave tables, load responses). *)
+
+open Types
+
+let tunit = 0
+let tfalse = 1
+let ttrue = 2
+let tint = 3    (* payload in the int column *)
+let tfloat = 4  (* payload in the float column *)
+let tpoison = 5
+let tobj = 6    (* payload in the object column *)
+let tabsent = 7
+
+(* A dummy occupant for object columns; never materialized. *)
+let no_obj : value = VUnit
+
+(* ------------------------------------------------------------------ *)
+(* Intern table: materializing small naturals is allocation-free.      *)
+
+let intern_width = 4096
+
+let interned_ints : value array =
+  Array.init intern_width (fun i -> VInt (Int64.of_int i))
+
+let vtrue = VBool true
+let vfalse = VBool false
+
+(** Does this [int64] fit the native [int] exactly? *)
+let fits_native (v : int64) : bool =
+  Int64.equal (Int64.of_int (Int64.to_int v)) v
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let tag_of (v : value) : int =
+  match v with
+  | VUnit -> tunit
+  | VBool false -> tfalse
+  | VBool true -> ttrue
+  | VInt i -> if fits_native i then tint else tobj
+  | VFloat _ -> tfloat
+  | VPoison -> tpoison
+  | VTensor _ -> tobj
+
+let num_of (v : value) : int =
+  match v with VInt i -> Int64.to_int i | _ -> 0
+
+let flt_of (v : value) : float =
+  match v with VFloat f -> f | _ -> 0.0
+
+(** The boxed-object column entry for [v] (the box itself when the
+    value cannot be carried flat, [no_obj] otherwise). *)
+let obj_of (v : value) : value =
+  match v with
+  | VInt i when not (fits_native i) -> v
+  | VTensor _ -> v
+  | _ -> no_obj
+
+(** Rebuild a boxed token from its columns.  Allocation-free for
+    units, bools, poison, interned small naturals and [tobj] rows. *)
+let materialize (tag : int) (num : int) (flt : float) (obj : value) : value =
+  if tag = tint then
+    if num >= 0 && num < intern_width then interned_ints.(num)
+    else VInt (Int64.of_int num)
+  else if tag = tfloat then VFloat flt
+  else if tag = tfalse then vfalse
+  else if tag = ttrue then vtrue
+  else if tag = tpoison then VPoison
+  else if tag = tobj then obj
+  else VUnit (* tunit and tabsent *)

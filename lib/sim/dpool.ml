@@ -1,0 +1,142 @@
+(** A persistent pool of OCaml 5 domains for the sharded simulator.
+
+    The simulator's sharded mode fans the fire and emit phases out
+    across lanes every cycle, so the dispatch latency of the pool is
+    on the critical path: spawning domains (or even an uncontended
+    futex round-trip) per cycle would dwarf the work.  This pool
+    spawns its worker domains once and parks them in a hybrid
+    barrier: a bounded spin for the common case where every executor
+    has its own core, falling back to a mutex/condition-variable
+    sleep so a loaded machine degrades to blocking handoff instead of
+    livelocking the scheduler.
+
+    Lanes are logical, executors are physical: the pool never spawns
+    more domains than the machine has cores, and each executor runs
+    its strided share of lanes in ascending order.  Lane-sharded work
+    is independent by construction, so the lane→executor mapping —
+    including the degenerate single-core case, where the coordinator
+    simply runs every lane itself with no barrier at all — cannot
+    change results, only wall time.
+
+    Publication safety: the plain [job] and [quit] fields are written
+    before the release increment of [go] and read after the acquire
+    load, so workers always observe the coordinator's writes (the
+    OCaml memory model orders plain accesses across atomics). *)
+
+type t = {
+  n : int;                   (** logical lanes *)
+  nexec : int;               (** executors, including the coordinator *)
+  mutable job : int -> unit; (** current phase body, indexed by lane *)
+  go : int Atomic.t;         (** generation counter *)
+  arrived : int Atomic.t;    (** workers finished with this generation *)
+  m : Mutex.t;
+  cv_go : Condition.t;       (** workers park here between phases *)
+  cv_done : Condition.t;     (** coordinator parks here for stragglers *)
+  mutable exn : exn option;  (** first worker exception, re-raised by
+                                 the coordinator after the barrier *)
+  mutable quit : bool;
+  mutable doms : unit Domain.t array;
+}
+
+(* Spins before falling back to blocking.  Small: on a machine with a
+   core per executor the flag flips within a few iterations; anywhere
+   else spinning only steals cycles from the lane we are waiting on. *)
+let spin_budget = 2000
+
+let run_lanes (p : t) (e : int) : unit =
+  let l = ref e in
+  while !l < p.n do
+    p.job !l;
+    l := !l + p.nexec
+  done
+
+let worker (p : t) (e : int) : unit =
+  let seen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let spins = ref 0 in
+    while Atomic.get p.go = !seen && !spins < spin_budget do
+      Domain.cpu_relax ();
+      incr spins
+    done;
+    if Atomic.get p.go = !seen then begin
+      Mutex.lock p.m;
+      while Atomic.get p.go = !seen do
+        Condition.wait p.cv_go p.m
+      done;
+      Mutex.unlock p.m
+    end;
+    seen := Atomic.get p.go;
+    if p.quit then continue_ := false
+    else begin
+      (try run_lanes p e with ex -> p.exn <- Some ex);
+      Atomic.incr p.arrived;
+      (* The coordinator may already be asleep waiting for us. *)
+      Mutex.lock p.m;
+      Condition.signal p.cv_done;
+      Mutex.unlock p.m
+    end
+  done
+
+(** A pool serving [n] logical lanes.  The calling domain is executor
+    0; up to [recommended_domain_count - 1] further domains are
+    spawned.  [n <= 1] (or a single-core machine) spawns nothing and
+    {!run} degenerates to plain calls. *)
+let create (n : int) : t =
+  let n = max n 1 in
+  let nexec = max 1 (min n (Domain.recommended_domain_count ())) in
+  let p =
+    { n; nexec; job = (fun _ -> ()); go = Atomic.make 0;
+      arrived = Atomic.make 0; m = Mutex.create ();
+      cv_go = Condition.create (); cv_done = Condition.create ();
+      exn = None; quit = false; doms = [||] }
+  in
+  if nexec > 1 then
+    p.doms <-
+      Array.init (nexec - 1) (fun i ->
+          Domain.spawn (fun () -> worker p (i + 1)));
+  p
+
+let release (p : t) : unit =
+  Mutex.lock p.m;
+  Atomic.incr p.go;
+  Condition.broadcast p.cv_go;
+  Mutex.unlock p.m
+
+(** Run [job lane] for every lane 0..n-1 and wait for all of them.
+    The coordinator takes the executor-0 share. *)
+let run (p : t) (job : int -> unit) : unit =
+  if Array.length p.doms = 0 then
+    for l = 0 to p.n - 1 do
+      job l
+    done
+  else begin
+    p.exn <- None;
+    p.job <- job;
+    Atomic.set p.arrived 0;
+    release p;
+    let mine = (try run_lanes p 0; None with ex -> Some ex) in
+    let spins = ref 0 in
+    while Atomic.get p.arrived < p.nexec - 1 && !spins < spin_budget do
+      Domain.cpu_relax ();
+      incr spins
+    done;
+    if Atomic.get p.arrived < p.nexec - 1 then begin
+      Mutex.lock p.m;
+      while Atomic.get p.arrived < p.nexec - 1 do
+        Condition.wait p.cv_done p.m
+      done;
+      Mutex.unlock p.m
+    end;
+    (match p.exn with Some e -> raise e | None -> ());
+    (match mine with Some e -> raise e | None -> ())
+  end
+
+(** Release the workers for good and join them. *)
+let shutdown (p : t) : unit =
+  if Array.length p.doms > 0 then begin
+    p.quit <- true;
+    release p;
+    Array.iter Domain.join p.doms;
+    p.doms <- [||]
+  end

@@ -27,11 +27,24 @@
     a token committed into an input channel, space freed in a
     downstream channel, a pipeline/memory/reorder-buffer entry
     matured, a child task's queue drained, a spawned child joined, or
-    an invocation was injected.  Nodes sleeping on latency
-    ([nr_busy_until], pipeline emit times, bank round trips) wake from
-    a timed table keyed by absolute cycle.  Completion checks and
-    junction arbitration likewise run only on instances whose state
-    moved, and only channels with staged writes are committed.
+    an invocation was injected.  Nodes sleeping on latency wake from a
+    ring-buffer timing wheel keyed by absolute cycle.  Completion
+    checks and junction arbitration likewise run only on instances
+    whose state moved, and only channels with staged writes are
+    committed.
+
+    {2 Data layout}
+
+    Everything on the steady-state path is preallocated
+    struct-of-arrays indexed by dense ids: channels are flat
+    ring-buffer columns in the {!Muir_ir.Flat} token encoding, node
+    pipeline/memory/reorder/sync state are fixed rings, invocations
+    and task-queue entries are pooled flat rows, wake worklists are
+    preallocated cursor arrays, and retired dynamic instances return
+    to a per-task pool and are reborn in place.  The steady-state fire
+    path allocates {e zero} words on the OCaml minor heap (asserted by
+    the bench gate); wall-clock throughput is the headline metric of
+    the bench suite.
 
     The wake discipline is {e conservative}: over-waking a node is
     always safe (a failed attempt has no side effects), under-waking
@@ -44,14 +57,24 @@
     every workload (enforced by the golden constants in
     [test/test_sim.ml]).
 
+    {2 Sharded simulation}
+
+    [run ~jobs:n] with [n > 1] partitions tasks across an OCaml-5
+    domain pool ([t_lane = tid mod jobs]) and fans the fire and emit
+    phases out each cycle.  Lanes only touch state owned by their
+    tasks; every cross-task effect (child-queue pushes, sync-context
+    mutation, parked callers) is deferred to the coordinator, which
+    replays it in task-id order — so the sharded schedule commutes
+    with the sequential one and the results (cycles, fires, the whole
+    counter bank) are bit-identical for every job count.
+
     Functional results are written to the same flat memory the golden
     interpreter uses, so every simulation is checkable end to end. *)
 
 module G = Muir_core.Graph
 module Cost = Muir_core.Cost
 module T = Muir_ir.Types
-module I = Muir_ir.Instr
-module E = Muir_ir.Eval
+module F = Muir_ir.Flat
 module Tr = Muir_trace.Trace
 module Ctr = Muir_trace.Counters
 
@@ -63,14 +86,23 @@ let to_int = Exec.to_int
 (* ------------------------------------------------------------------ *)
 (* Runtime structures                                                   *)
 
-(* Channels carry committed tokens in [fq]; writes land in [staged]
-   and become visible at the end-of-cycle commit.  The back-pointers
-   drive the wake lists: a commit wakes the consumer ([f_dst]) for
-   fire, a pop wakes the producer ([f_src]) for emission. *)
+(* Channels are flat ring buffers of token columns.  Three monotonic
+   cursors: [fhead] (next pop), [fmid] (end of committed tokens),
+   [ftail] (end of staged writes).  Writes land between [fmid] and
+   [ftail] and become visible at the end-of-cycle commit
+   ([fmid <- ftail]).  The back-pointers drive the wake lists: a
+   commit wakes the consumer ([f_dst]) for fire, a pop wakes the
+   producer ([f_src]) for emission. *)
 type fifo = {
-  fq : token Queue.t;
-  staged : token Queue.t;
-  cap : int;
+  fcap : int;                          (** architectural capacity *)
+  fmask : int;                         (** physical ring size - 1 *)
+  ftags : int array;
+  fnums : int array;
+  fflts : float array;
+  fobjs : token array;
+  mutable fhead : int;
+  mutable fmid : int;
+  mutable ftail : int;
   mutable f_dirty : bool;              (** queued on the commit list *)
   mutable f_src : (instance * node_rt) option;
   mutable f_dst : (instance * node_rt) option;
@@ -81,34 +113,31 @@ and sync_ctx = {
   mutable cx_owner : instance option;
       (** instance whose invocation owns this context: re-checked for
           completion when a child joins *)
-  mutable cx_waiters : (instance * node_rt) list;
-      (** SyncWait nodes parked on this context *)
+  mutable cx_w_inst : instance array;  (** parked SyncWait nodes *)
+  mutable cx_w_node : node_rt array;
+  mutable cx_nw : int;
 }
 
-and reply =
-  | Rroot
-  | Rcall of { r_inst : instance; r_node : int; r_wave : int }
-  | Rspawn of {
-      r_inst : instance;
-      r_node : int;
-      r_wave : int;
-      r_ctx : sync_ctx;  (** decremented when the child completes *)
-    }
-
+(* Reply routing lives in flat fields: [iv_rkind] 0 = root, 1 = call,
+   2 = spawn; the remaining fields are dummies for the root reply. *)
 and invocation = {
-  iv_wave : int;
-  iv_reply : reply;
-  iv_eff_ctx : sync_ctx;        (** where this invocation's spawns join *)
-  iv_own_ctx : sync_ctx option; (** fresh context (function tasks) *)
-  iv_liveouts : token option array;
+  mutable iv_gen : int;         (** bumped on pool reuse: stale ring
+                                    entries referencing a completed
+                                    invocation are detectable *)
+  mutable iv_wave : int;
+  mutable iv_rkind : int;
+  mutable iv_rinst : instance;
+  mutable iv_rnode : node_rt;
+  mutable iv_rwave : int;
+  mutable iv_rctx : sync_ctx;   (** decremented when a spawn completes *)
+  mutable iv_eff_ctx : sync_ctx; (** where this invocation's spawns join *)
+  iv_own : sync_ctx option;     (** fresh context (function tasks);
+                                    pooled with the invocation *)
+  iv_lo_tags : int array;       (** live-outs; [tabsent] = not yet set *)
+  iv_lo_nums : int array;
+  iv_lo_flts : float array;
+  iv_lo_objs : token array;
   mutable iv_stores : int;      (** outstanding stores attributed here *)
-}
-
-and mem_entry = {
-  me_acc : Memsys.access option;  (** [None] when predicated off *)
-  me_gated : token;               (** data token to emit when gated *)
-  me_inv : invocation option;     (** store attribution (loads: None ok) *)
-  me_is_store : bool;
 }
 
 and node_rt = {
@@ -116,17 +145,48 @@ and node_rt = {
   nr_cost : Cost.t;
   mutable nr_idx : int;           (** position in [inodes] (drain order) *)
   nr_in : fifo option array;      (** [None] = immediate slot *)
-  nr_imm : token array;           (** immediate values (valid when in=None) *)
-  nr_out : fifo list array;       (** per out port: fan-out channels *)
+  im_tags : int array;            (** immediates, flat columns *)
+  im_nums : int array;
+  im_flts : float array;
+  im_objs : token array;
+  nr_out : fifo array array;      (** per out port: fan-out channels *)
+  nr_words : int;                 (** words per access (memory nodes) *)
+  nr_space : int;                 (** address space (memory nodes) *)
   mutable nr_fired : int;         (** firings so far (the wave counter) *)
   mutable nr_busy_until : int;
-  nr_pipe : (int * (int * token) list) Queue.t;
-      (** (emit-at cycle, [(port, token)]) *)
-  nr_mem : mem_entry Queue.t;     (** loads/stores in flight, FIFO *)
-  nr_resp : (int, token array) Hashtbl.t;  (** call/spawn reorder buffer *)
+  (* pipeline ring: 4 slots of (ready cycle, out port, token) *)
+  np_ready : int array;
+  np_port : int array;
+  np_tags : int array;
+  np_nums : int array;
+  np_flts : float array;
+  np_objs : token array;
+  mutable np_head : int;
+  mutable np_tail : int;
+  (* outstanding-request window: ring of [max_outstanding] entries *)
+  nm_live : bool array;           (** entry carries an access *)
+  nm_store : bool array;
+  nm_hasiv : bool array;          (** store attribution attached *)
+  nm_acc : Memsys.access array;
+  nm_inv : invocation array;
+  mutable nm_head : int;
+  mutable nm_tail : int;
+  mutable na_pool : Memsys.access array;  (** reusable accesses *)
+  mutable na_n : int;
+  (* call/spawn reorder buffer: wave-indexed flat rows, width [rs_w] *)
+  rs_w : int;
+  mutable rs_wave : int array;    (** -1 = empty *)
+  mutable rs_tags : int array;
+  mutable rs_nums : int array;
+  mutable rs_flts : float array;
+  mutable rs_objs : token array;
   mutable nr_next_resp : int;
-  nr_sync : (invocation * int) Queue.t;
-      (** pending sync waits: (invocation, wave) *)
+  (* pending sync waits: FIFO ring of (invocation, wave) *)
+  mutable ns_inv : invocation array;
+  mutable ns_wave : int array;
+  mutable ns_gen : int array;   (** [iv_gen] at push time *)
+  mutable ns_head : int;
+  mutable ns_tail : int;
   mutable nr_qfire : bool;        (** on the instance's fire worklist *)
   mutable nr_qemit : bool;        (** on the instance's emit worklist *)
   mutable nr_wait_child : bool;   (** parked on a full child task queue *)
@@ -135,59 +195,111 @@ and node_rt = {
 and instance = {
   it : G.task;
   iid : int;
-  mutable i_ord : int;            (** drain order within the task: the
-                                      list order of [tinstances] is
-                                      ascending [i_ord] *)
+  mutable i_ord : int;            (** drain order within the task *)
+  mutable i_slot : int;           (** position in the task's [tinst] *)
   inodes : node_rt array;
   inode_by_id : node_rt option array;  (** node id -> runtime (ids are
                                            sparse after fusion) *)
   ififos : fifo array;            (** indexed by edge id *)
-  i_waves : (int, invocation) Hashtbl.t;  (** wave -> inflight invocation *)
+  (* inflight window: wave-indexed table, pow2, -1 = empty slot *)
+  mutable iw_wave : int array;
+  mutable iw_iv : invocation array;
   mutable i_lo : int;             (** lowest possibly-inflight wave *)
   mutable i_count : int;          (** inflight invocations *)
   mutable next_wave : int;
   mutable live : bool;            (** dynamic instances are retired *)
+  mutable i_retired : int;        (** cycle of retirement (pool guard) *)
   idynamic : bool;
   ipipe_loop : bool;
       (** leaf loop (no stores/calls/spawns/syncs): safe to pipeline
           invocations through the ring, like the paper's in-order
           concurrent invocations *)
   iprime : int array;             (** resting token count per edge *)
-  mutable junction : (G.space_id * Memsys.subreq) Queue.t;
+  (* initial tokens, one row per token, for allocation-free rebirth *)
+  i_init_eid : int array;
+  i_init_tags : int array;
+  i_init_nums : int array;
+  i_init_flts : float array;
+  i_init_objs : token array;
+  (* junction queue: ring of (space, sub-request) *)
+  mutable ij_space : int array;
+  mutable ij_sr : Memsys.subreq array;
+  mutable ij_head : int;
+  mutable ij_tail : int;
   isyncs : node_rt array;         (** SyncWait nodes, for join wakes *)
-  mutable i_fire_nodes : node_rt list;  (** woken for fire (unordered) *)
-  mutable i_emit_nodes : node_rt list;  (** woken for emit (unordered) *)
+  (* wake worklists: double-buffered, [nnodes]-sized (dedup flags
+     bound the population) *)
+  mutable if_v : node_rt array;
+  mutable if_v2 : node_rt array;
+  mutable if_n : int;
+  mutable ie_v : node_rt array;
+  mutable ie_v2 : node_rt array;
+  mutable ie_n : int;
   mutable i_qfire : bool;         (** on the task's fire worklist *)
   mutable i_qemit : bool;
   mutable i_qcomplete : bool;
   mutable i_qjunction : bool;
+  mutable ivp : invocation array; (** invocation pool *)
+  mutable ivp_n : int;
+  i_nres : int;
+  i_sc : Exec.sc;                 (** flat ALU scratch *)
   i_prof : Tr.Prof.iprof;         (** always-on stall accounting *)
+  i_nctr : Ctr.node_ctr array;
+  (** whole-run counter rows, parallel to [inodes] — resolved once at
+      construction so retirement folds without hashing a key *)
 }
 
 type task_rt = {
   tk : G.task;
-  tqueue : msg Queue.t;           (** pending invocations *)
-  mutable tinstances : instance list;
+  t_arity : int;
+  t_nres : int;
   tdynamic : bool;
+  (* pending invocations: flat ring, row-major args + reply routing *)
+  mutable tq_tags : int array;
+  mutable tq_nums : int array;
+  mutable tq_flts : float array;
+  mutable tq_objs : token array;
+  mutable tq_ctx : sync_ctx array;
+  mutable tq_rkind : int array;
+  mutable tq_rinst : instance array;
+  mutable tq_rnode : node_rt array;
+  mutable tq_rwave : int array;
+  mutable tq_rctx : sync_ctx array;
+  mutable tq_head : int;
+  mutable tq_tail : int;
+  mutable tinst : instance array;
+  mutable tinst_n : int;
   mutable tinvocations : int;     (** total, for stats *)
   mutable tbusy : int;            (** cycles with at least one firing *)
+  mutable t_fired_now : bool;
   mutable trr : int;              (** round-robin dispatch cursor *)
   mutable t_next_ord : int;       (** next [i_ord] for dynamic instances
                                       (decreasing: newest first) *)
-  mutable t_fire : instance list;     (** instances with woken nodes *)
-  mutable t_emit : instance list;
-  mutable t_complete : instance list; (** instances to re-check for
-                                          invocation completion *)
-  mutable t_junction : instance list; (** instances with queued junction
-                                          sub-requests *)
-  mutable t_wait_child : (instance * node_rt) list;
-      (** caller nodes parked on this task's full invocation queue *)
-}
-
-and msg = {
-  m_args : token array;
-  m_ctx : sync_ctx;
-  m_reply : reply;
+  (* instance worklists (dedup via i_q* flags) *)
+  mutable tf_v : instance array;  (** woken for fire *)
+  mutable tf_v2 : instance array;
+  mutable tf_n : int;
+  mutable te_v : instance array;  (** woken for emit *)
+  mutable te_v2 : instance array;
+  mutable te_n : int;
+  mutable tc_v : instance array;  (** re-check invocation completion *)
+  mutable tc_n : int;
+  mutable tc2 : instance array;   (** completion-drain scratch *)
+  mutable tj_v : instance array;  (** queued junction sub-requests *)
+  mutable tj_v2 : instance array;
+  mutable tj_n : int;
+  mutable tw_inst : instance array;  (** callers parked on full queue *)
+  mutable tw_node : node_rt array;
+  mutable tw_n : int;
+  (* call/spawn/sync fires deferred to the coordinator (sharded) *)
+  mutable td_inst : instance array;
+  mutable td_node : node_rt array;
+  mutable td_n : int;
+  (* retired dynamic instances, FIFO (head reused only on a later
+     cycle than its retirement, so staged state flushes first) *)
+  mutable tp_v : instance array;
+  mutable tp_head : int;
+  mutable tp_tail : int;
 }
 
 type stats = {
@@ -205,6 +317,9 @@ type stats = {
   woken_per_cycle : float;        (** fire-phase node attempts per cycle *)
   live_nodes_per_cycle : float;   (** instantiated nodes per cycle (the
                                       dense sweep would attempt these) *)
+  gc_minor_words_per_cycle : float;
+      (** steady-state minor-heap allocation rate of the kernel *)
+  gc_major_collections : int;     (** major GCs during [run] *)
 }
 
 type result = {
@@ -218,11 +333,34 @@ exception Deadlock of string
 exception Cycle_limit of int
 
 (* ------------------------------------------------------------------ *)
-(* Simulator state                                                      *)
+(* Timing wheel and per-lane state                                     *)
 
-type timed_ev =
-  | Wfire of instance * node_rt
-  | Wemit of instance * node_rt
+(* 512-slot wheel of (instance, node, absolute cycle, kind); kind 0 =
+   fire, 1 = emit.  Entries keep their absolute cycle, so a slot can
+   safely hold wakes a full wheel turn ahead. *)
+let wheel_size = 512
+
+type wslot = {
+  mutable wi : instance array;
+  mutable wn : node_rt array;
+  mutable wc : int array;
+  mutable wk : int array;
+  mutable w_n : int;
+}
+
+(* Each simulation lane owns a wheel, a dirty-channel list and local
+   counters; lane 0 is the coordinator (and the only lane in
+   sequential mode).  Lane-local state is merged deterministically by
+   the coordinator each cycle. *)
+type lane = {
+  wheel : wslot array;
+  mutable ld_v : fifo array;      (** channels with staged writes *)
+  mutable ld_n : int;
+  mutable l_fires : int;
+  mutable l_woken : int;
+  mutable l_syncs : int;
+  mutable l_active : bool;
+}
 
 type t = {
   circ : G.circuit;
@@ -232,18 +370,117 @@ type t = {
   mutable fires : int;
   mutable last_activity : int;
   mutable next_iid : int;
-  mutable root_result : token array option;
+  mutable root_done : bool;
+  mutable root_val : token;
   junction_width : int array;     (** per task *)
   max_outstanding : int;
-  timed : (int, timed_ev list) Hashtbl.t;
-      (** absolute cycle -> wakes due; drained as [now] reaches each key *)
-  mutable dirty_fifos : fifo list;    (** channels with staged writes *)
+  lanes : lane array;             (** [njobs] entries; lane 0 first *)
+  njobs : int;
+  mutable dpool : Dpool.t option;
   mutable woken : int;            (** total fire-phase attempts, stats *)
   mutable live_nodes : int;       (** nodes across live instances *)
   mutable node_cycles : int;      (** Σ live_nodes per cycle, stats *)
   tr : Tr.t option;               (** event sink; [None] = tracing off *)
   ctrs : Ctr.t;                   (** always-on counter bank *)
+  otasks : Ctr.occ_ctr array;     (** queue-occupancy integrals *)
+  ostructs : Ctr.occ_ctr array;   (** per [ms.structs] row *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Small flat-vector helpers                                           *)
+
+(* Amortized push into a growable array; the caller stores the
+   returned array and bumps its own count. *)
+let vpush : 'a. 'a array -> int -> 'a -> 'a array =
+ fun arr n x ->
+  let cap = Array.length arr in
+  if n < cap then begin
+    arr.(n) <- x;
+    arr
+  end
+  else begin
+    let na = Array.make (max 8 (cap * 2)) x in
+    Array.blit arr 0 na 0 n;
+    na.(n) <- x;
+    na
+  end
+
+(* In-place insertion sorts over the worklist prefixes (keys are
+   unique and lists are short, so this beats allocating a sort). *)
+let sort_nodes (a : node_rt array) (n : int) : unit =
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let k = x.nr_idx in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j).nr_idx > k do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let sort_insts (a : instance array) (n : int) : unit =
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let k = x.i_ord in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j).i_ord > k do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dummy rows (array initializers; never read through)                 *)
+
+let dummy_task : G.task =
+  { tid = -1; tname = "<none>"; tkind = G.Tfunc; nodes = []; edges = [];
+    next_nid = 0; next_eid = 0; arg_tys = []; res_tys = []; tiles = 1;
+    queue_depth = 1; children = [] }
+
+let dummy_gnode : G.node =
+  { nid = -1; kind = G.SyncWait; ins = [||]; nty = T.TFloat; label = "" }
+
+let dummy_ctx : sync_ctx =
+  { live_children = 0; cx_owner = None; cx_w_inst = [||]; cx_w_node = [||];
+    cx_nw = 0 }
+
+let dummy_node : node_rt =
+  { nr = dummy_gnode; nr_cost = Cost.node_cost G.SyncWait; nr_idx = 0;
+    nr_in = [||]; im_tags = [||]; im_nums = [||]; im_flts = [||];
+    im_objs = [||]; nr_out = [||]; nr_words = 1; nr_space = 0; nr_fired = 0;
+    nr_busy_until = 0; np_ready = [||]; np_port = [||]; np_tags = [||];
+    np_nums = [||]; np_flts = [||]; np_objs = [||]; np_head = 0;
+    np_tail = 0; nm_live = [||]; nm_store = [||]; nm_hasiv = [||];
+    nm_acc = [||]; nm_inv = [||]; nm_head = 0; nm_tail = 0; na_pool = [||];
+    na_n = 0; rs_w = 0; rs_wave = [||]; rs_tags = [||]; rs_nums = [||];
+    rs_flts = [||]; rs_objs = [||]; nr_next_resp = 0; ns_inv = [||];
+    ns_wave = [||]; ns_gen = [||]; ns_head = 0; ns_tail = 0;
+    nr_qfire = false; nr_qemit = false; nr_wait_child = false }
+
+let dummy_inst : instance =
+  { it = dummy_task; iid = -1; i_ord = 0; i_slot = 0; inodes = [||];
+    inode_by_id = [||]; ififos = [||]; iw_wave = [||]; iw_iv = [||];
+    i_lo = 0; i_count = 0; next_wave = 0; live = false; i_retired = -1;
+    idynamic = false; ipipe_loop = false; iprime = [||]; i_init_eid = [||];
+    i_init_tags = [||]; i_init_nums = [||]; i_init_flts = [||];
+    i_init_objs = [||]; ij_space = [||];
+    ij_sr = [||]; ij_head = 0; ij_tail = 0; isyncs = [||]; if_v = [||];
+    if_v2 = [||]; if_n = 0; ie_v = [||]; ie_v2 = [||]; ie_n = 0;
+    i_qfire = false; i_qemit = false; i_qcomplete = false;
+    i_qjunction = false; ivp = [||]; ivp_n = 0; i_nres = 0;
+    i_sc = Exec.make_sc ~slots:1;
+    i_prof = Tr.Prof.make ~born:0 ~nnodes:0; i_nctr = [||] }
+
+let dummy_inv : invocation =
+  { iv_gen = 0; iv_wave = -1; iv_rkind = 0; iv_rinst = dummy_inst;
+    iv_rnode = dummy_node; iv_rwave = 0; iv_rctx = dummy_ctx;
+    iv_eff_ctx = dummy_ctx; iv_own = None; iv_lo_tags = [||];
+    iv_lo_nums = [||]; iv_lo_flts = [||]; iv_lo_objs = [||];
+    iv_stores = 0 }
+
+let dummy_access : Memsys.access = Memsys.make_access ~words:1 ~notify:ignore
 
 (* ------------------------------------------------------------------ *)
 (* Wake plumbing                                                        *)
@@ -251,22 +488,26 @@ type t = {
 let wake_fire (sim : t) (inst : instance) (n : node_rt) : unit =
   if inst.live && not n.nr_qfire then begin
     n.nr_qfire <- true;
-    inst.i_fire_nodes <- n :: inst.i_fire_nodes;
+    inst.if_v.(inst.if_n) <- n;
+    inst.if_n <- inst.if_n + 1;
     if not inst.i_qfire then begin
       inst.i_qfire <- true;
       let trt = sim.tasks.(inst.it.tid) in
-      trt.t_fire <- inst :: trt.t_fire
+      trt.tf_v <- vpush trt.tf_v trt.tf_n inst;
+      trt.tf_n <- trt.tf_n + 1
     end
   end
 
 let wake_emit (sim : t) (inst : instance) (n : node_rt) : unit =
   if inst.live && not n.nr_qemit then begin
     n.nr_qemit <- true;
-    inst.i_emit_nodes <- n :: inst.i_emit_nodes;
+    inst.ie_v.(inst.ie_n) <- n;
+    inst.ie_n <- inst.ie_n + 1;
     if not inst.i_qemit then begin
       inst.i_qemit <- true;
       let trt = sim.tasks.(inst.it.tid) in
-      trt.t_emit <- inst :: trt.t_emit
+      trt.te_v <- vpush trt.te_v trt.te_n inst;
+      trt.te_n <- trt.te_n + 1
     end
   end
 
@@ -274,54 +515,163 @@ let wake_complete (sim : t) (inst : instance) : unit =
   if inst.live && not inst.i_qcomplete then begin
     inst.i_qcomplete <- true;
     let trt = sim.tasks.(inst.it.tid) in
-    trt.t_complete <- inst :: trt.t_complete
+    trt.tc_v <- vpush trt.tc_v trt.tc_n inst;
+    trt.tc_n <- trt.tc_n + 1
   end
 
 let wake_junction (sim : t) (inst : instance) : unit =
   if inst.live && not inst.i_qjunction then begin
     inst.i_qjunction <- true;
     let trt = sim.tasks.(inst.it.tid) in
-    trt.t_junction <- inst :: trt.t_junction
+    trt.tj_v <- vpush trt.tj_v trt.tj_n inst;
+    trt.tj_n <- trt.tj_n + 1
   end
 
-(** Schedule a wake at absolute cycle [c] (clamped to the future). *)
-let at (sim : t) (c : int) (ev : timed_ev) : unit =
+(** Schedule a wake on [ln]'s wheel at absolute cycle [c] (clamped to
+    the future); [kind] 0 = fire, 1 = emit. *)
+let at (sim : t) (ln : lane) (c : int) (inst : instance) (n : node_rt)
+    (kind : int) : unit =
   let c = max c (sim.now + 1) in
-  let prev = try Hashtbl.find sim.timed c with Not_found -> [] in
-  Hashtbl.replace sim.timed c (ev :: prev)
+  let s = ln.wheel.(c land (wheel_size - 1)) in
+  let m = s.w_n in
+  s.wi <- vpush s.wi m inst;
+  s.wn <- vpush s.wn m n;
+  s.wc <- vpush s.wc m c;
+  s.wk <- vpush s.wk m kind;
+  s.w_n <- m + 1
+
+(* Drain this cycle's wheel slot on every lane, keeping entries whose
+   absolute cycle lies a full wheel turn ahead. *)
+let rec drain_slot (sim : t) (s : wslot) (i : int) (n : int) (kept : int)
+    : int =
+  if i >= n then kept
+  else if s.wc.(i) = sim.now then begin
+    if s.wk.(i) = 0 then wake_fire sim s.wi.(i) s.wn.(i)
+    else wake_emit sim s.wi.(i) s.wn.(i);
+    drain_slot sim s (i + 1) n kept
+  end
+  else begin
+    s.wi.(kept) <- s.wi.(i);
+    s.wn.(kept) <- s.wn.(i);
+    s.wc.(kept) <- s.wc.(i);
+    s.wk.(kept) <- s.wk.(i);
+    drain_slot sim s (i + 1) n (kept + 1)
+  end
 
 let drain_timed (sim : t) : unit =
-  match Hashtbl.find_opt sim.timed sim.now with
-  | None -> ()
-  | Some evs ->
-    Hashtbl.remove sim.timed sim.now;
-    List.iter
-      (function
-        | Wfire (i, n) -> wake_fire sim i n
-        | Wemit (i, n) -> wake_emit sim i n)
-      evs
+  let idx = sim.now land (wheel_size - 1) in
+  for l = 0 to sim.njobs - 1 do
+    let s = sim.lanes.(l).wheel.(idx) in
+    if s.w_n > 0 then s.w_n <- drain_slot sim s 0 s.w_n 0
+  done
 
 (** A spawned child joined or a context count moved: re-check the
     owner's completion and retry every parked sync. *)
 let ctx_dec (sim : t) (c : sync_ctx) : unit =
   c.live_children <- c.live_children - 1;
   (match c.cx_owner with Some i -> wake_complete sim i | None -> ());
-  List.iter (fun (i, n) -> wake_emit sim i n) c.cx_waiters
-
-let cmp_inst (a : instance) (b : instance) = compare a.i_ord b.i_ord
-let cmp_node (a : node_rt) (b : node_rt) = compare a.nr_idx b.nr_idx
+  for i = 0 to c.cx_nw - 1 do
+    wake_emit sim c.cx_w_inst.(i) c.cx_w_node.(i)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Channel operations                                                   *)
 
-let fifo_space (f : fifo) = Queue.length f.fq + Queue.length f.staged < f.cap
+(* Statically allocated 0.0 for constant-token pushes: passing a float
+   literal through the array-indexed push API without a fresh box. *)
+let f0 = [| 0.0 |]
 
-let fifo_push (sim : t) (f : fifo) (v : token) =
-  Queue.add v f.staged;
+let fifo_space (f : fifo) = f.ftail - f.fhead < f.fcap
+
+let fifo_push (ln : lane) (f : fifo) (tag : int) (num : int)
+    (flts : float array) (fi : int)
+    (obj : token) : unit =
+  let i = f.ftail land f.fmask in
+  f.ftags.(i) <- tag;
+  f.fnums.(i) <- num;
+  f.fflts.(i) <- flts.(fi);
+  f.fobjs.(i) <- obj;
+  f.ftail <- f.ftail + 1;
   if not f.f_dirty then begin
     f.f_dirty <- true;
-    sim.dirty_fifos <- f :: sim.dirty_fifos
+    ln.ld_v <- vpush ln.ld_v ln.ld_n f;
+    ln.ld_n <- ln.ld_n + 1
   end
+
+(** Stage every input of [n] into rows [0 ..] of [sc]; false if some
+    wired input is empty (rows may be partially staged then).
+    Tail-recursive with the verdict threaded as an argument: the hot
+    path must not allocate a [ref]. *)
+let rec stage_inputs_from (n : node_rt) (sc : Exec.sc) (i : int)
+    (ok : bool) : bool =
+  if i >= Array.length n.nr_in then ok
+  else
+    match n.nr_in.(i) with
+    | None ->
+      sc.Exec.stags.(i) <- n.im_tags.(i);
+      sc.Exec.snums.(i) <- n.im_nums.(i);
+      sc.Exec.sflts.(i) <- n.im_flts.(i);
+      sc.Exec.sobjs.(i) <- n.im_objs.(i);
+      stage_inputs_from n sc (i + 1) ok
+    | Some f ->
+      if f.fmid - f.fhead = 0 then stage_inputs_from n sc (i + 1) false
+      else begin
+        let j = f.fhead land f.fmask in
+        sc.Exec.stags.(i) <- f.ftags.(j);
+        sc.Exec.snums.(i) <- f.fnums.(j);
+        sc.Exec.sflts.(i) <- f.fflts.(j);
+        sc.Exec.sobjs.(i) <- f.fobjs.(j);
+        stage_inputs_from n sc (i + 1) ok
+      end
+
+let stage_inputs (n : node_rt) (sc : Exec.sc) : bool =
+  stage_inputs_from n sc 0 true
+
+(** Stage input [i] only; false if empty. *)
+let stage_one (n : node_rt) (sc : Exec.sc) (i : int) : bool =
+  match n.nr_in.(i) with
+  | None ->
+    sc.Exec.stags.(i) <- n.im_tags.(i);
+    sc.Exec.snums.(i) <- n.im_nums.(i);
+    sc.Exec.sflts.(i) <- n.im_flts.(i);
+    sc.Exec.sobjs.(i) <- n.im_objs.(i);
+    true
+  | Some f ->
+    if f.fmid - f.fhead = 0 then false
+    else begin
+      let j = f.fhead land f.fmask in
+      sc.Exec.stags.(i) <- f.ftags.(j);
+      sc.Exec.snums.(i) <- f.fnums.(j);
+      sc.Exec.sflts.(i) <- f.fflts.(j);
+      sc.Exec.sobjs.(i) <- f.fobjs.(j);
+      true
+    end
+
+let rec all_inputs_ready_from (n : node_rt) (i : int) : bool =
+  i >= Array.length n.nr_in
+  || (match n.nr_in.(i) with
+     | None -> all_inputs_ready_from n (i + 1)
+     | Some f -> f.fmid - f.fhead > 0 && all_inputs_ready_from n (i + 1))
+
+let all_inputs_ready (n : node_rt) : bool = all_inputs_ready_from n 0
+
+let input_ready (n : node_rt) (i : int) : bool =
+  match n.nr_in.(i) with None -> true | Some f -> f.fmid - f.fhead > 0
+
+let pop_in (sim : t) (n : node_rt) (i : int) : unit =
+  match n.nr_in.(i) with
+  | None -> ()
+  | Some f ->
+    f.fhead <- f.fhead + 1;
+    (* Space freed: the producer's blocked emission may proceed. *)
+    (match f.f_src with
+    | Some (si, sn) -> wake_emit sim si sn
+    | None -> ())
+
+let pop_all (sim : t) (n : node_rt) : unit =
+  for i = 0 to Array.length n.nr_in - 1 do
+    pop_in sim n i
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -354,29 +704,50 @@ let imm_token = function
   | G.Simm v -> v
   | G.Swire -> T.VPoison
 
-let new_fifo cap =
-  { fq = Queue.create (); staged = Queue.create (); cap;
+let rec pow2_at_least (n : int) (p : int) = if p >= n then p else
+  pow2_at_least n (p * 2)
+
+let new_fifo (cap : int) (ninit : int) : fifo =
+  let phys = pow2_at_least (max cap (max ninit 1)) 1 in
+  { fcap = cap; fmask = phys - 1; ftags = Array.make phys F.tabsent;
+    fnums = Array.make phys 0; fflts = Array.make phys 0.0;
+    fobjs = Array.make phys F.no_obj; fhead = 0; fmid = 0; ftail = 0;
     f_dirty = false; f_src = None; f_dst = None }
+
+let shape_of_kind = function
+  | G.Tload { shape; _ } | G.Tstore { shape; _ } -> Some shape
+  | _ -> None
 
 let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
   let nedges = task.next_eid in
-  let fifos = Array.init nedges (fun _ -> new_fifo 1) in
+  let fifos = Array.init nedges (fun _ -> new_fifo 1 0) in
   List.iter
     (fun (e : G.edge) ->
-      let f = new_fifo e.capacity in
-      List.iter (fun v -> Queue.add v f.fq) e.initial;
+      let f = new_fifo e.capacity (List.length e.initial) in
+      List.iter
+        (fun v ->
+          let i = f.ftail land f.fmask in
+          f.ftags.(i) <- F.tag_of v;
+          f.fnums.(i) <- F.num_of v;
+          f.fflts.(i) <- F.flt_of v;
+          f.fobjs.(i) <- F.obj_of v;
+          f.ftail <- f.ftail + 1;
+          f.fmid <- f.ftail)
+        e.initial;
       fifos.(e.eid) <- f)
     task.edges;
   let max_nid = task.next_nid in
-  let by_id = Array.make max_nid None in
-  List.iter (fun (n : G.node) -> by_id.(n.nid) <- Some n) task.nodes;
   let in_map = Hashtbl.create 64 and out_map = Hashtbl.create 64 in
   List.iter
     (fun (e : G.edge) ->
       Hashtbl.replace in_map e.dst e.eid;
       Hashtbl.replace out_map e.src
-        (e.eid :: (try Hashtbl.find out_map e.src with Not_found -> [])))
+        (e.eid
+        :: (match Hashtbl.find_opt out_map e.src with
+           | Some l -> l
+           | None -> [])))
     task.edges;
+  let mo = sim.max_outstanding in
   let nodes =
     Array.of_list
       (List.map
@@ -391,28 +762,86 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
                    | Some eid -> Some fifos.(eid)
                    | None -> None (* validated: shouldn't happen *)))
            in
-           let nr_imm = Array.map imm_token n.ins in
+           let imms = Array.map imm_token n.ins in
            let outs = G.out_arity n.kind ~call_res:16 in
            let nr_out =
              Array.init (max outs 1) (fun p ->
                  match Hashtbl.find_opt out_map (n.nid, p) with
-                 | Some eids -> List.map (fun e -> fifos.(e)) eids
-                 | None -> [])
+                 | Some eids ->
+                   Array.of_list (List.map (fun e -> fifos.(e)) eids)
+                 | None -> [||])
+           in
+           let is_mem = G.is_memory_node n in
+           let nr_words =
+             match shape_of_kind n.kind with
+             | Some s -> T.shape_words s
+             | None -> 1
+           in
+           let nr_space =
+             match n.kind with
+             | G.Load { space } | G.Store { space }
+             | G.Tload { space; _ } | G.Tstore { space; _ } -> space
+             | _ -> 0
+           in
+           let rs_w =
+             match n.kind with
+             | G.CallChild tid ->
+               List.length sim.tasks.(tid).tk.res_tys
+             | G.SpawnChild _ -> 1
+             | _ -> 0
            in
            { nr = n; nr_cost = Cost.node_cost n.kind; nr_idx = 0; nr_in;
-             nr_imm; nr_out; nr_fired = 0; nr_busy_until = 0;
-             nr_pipe = Queue.create (); nr_mem = Queue.create ();
-             nr_resp = Hashtbl.create 8; nr_next_resp = 0;
-             nr_sync = Queue.create (); nr_qfire = false; nr_qemit = false;
+             im_tags = Array.map F.tag_of imms;
+             im_nums = Array.map F.num_of imms;
+             im_flts = Array.map F.flt_of imms;
+             im_objs = Array.map F.obj_of imms; nr_out; nr_words; nr_space;
+             nr_fired = 0; nr_busy_until = 0; np_ready = Array.make 4 0;
+             np_port = Array.make 4 0; np_tags = Array.make 4 F.tabsent;
+             np_nums = Array.make 4 0; np_flts = Array.make 4 0.0;
+             np_objs = Array.make 4 F.no_obj; np_head = 0; np_tail = 0;
+             nm_live = (if is_mem then Array.make mo false else [||]);
+             nm_store = (if is_mem then Array.make mo false else [||]);
+             nm_hasiv = (if is_mem then Array.make mo false else [||]);
+             nm_acc = (if is_mem then Array.make mo dummy_access else [||]);
+             nm_inv = (if is_mem then Array.make mo dummy_inv else [||]);
+             nm_head = 0; nm_tail = 0; na_pool = [||]; na_n = 0; rs_w;
+             rs_wave = [||]; rs_tags = [||]; rs_nums = [||]; rs_flts = [||];
+             rs_objs = [||]; nr_next_resp = 0; ns_inv = [||]; ns_wave = [||];
+             ns_gen = [||];
+             ns_head = 0; ns_tail = 0; nr_qfire = false; nr_qemit = false;
              nr_wait_child = false })
          task.nodes)
   in
   Array.iteri (fun i n -> n.nr_idx <- i) nodes;
+  let nnodes = Array.length nodes in
   let iid = sim.next_iid in
   sim.next_iid <- iid + 1;
   let iprime = Array.make nedges 0 in
   List.iter
     (fun (e : G.edge) -> iprime.(e.eid) <- List.length e.initial)
+    task.edges;
+  let ninit =
+    List.fold_left
+      (fun acc (e : G.edge) -> acc + List.length e.initial)
+      0 task.edges
+  in
+  let i_init_eid = Array.make ninit 0 in
+  let i_init_tags = Array.make ninit F.tabsent in
+  let i_init_nums = Array.make ninit 0 in
+  let i_init_flts = Array.make ninit 0.0 in
+  let i_init_objs = Array.make ninit F.no_obj in
+  let k = ref 0 in
+  List.iter
+    (fun (e : G.edge) ->
+      List.iter
+        (fun v ->
+          i_init_eid.(!k) <- e.eid;
+          i_init_tags.(!k) <- F.tag_of v;
+          i_init_nums.(!k) <- F.num_of v;
+          i_init_flts.(!k) <- F.flt_of v;
+          i_init_objs.(!k) <- F.obj_of v;
+          incr k)
+        e.initial)
     task.edges;
   let ipipe_loop =
     (match task.tkind with G.Tloop _ -> true | G.Tfunc -> false)
@@ -433,14 +862,31 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
            match n.nr.kind with G.SyncWait -> true | _ -> false)
          (Array.to_list nodes))
   in
+  let max_arity =
+    Array.fold_left
+      (fun acc (n : node_rt) -> max acc (Array.length n.nr_in))
+      1 nodes
+  in
   let inst =
-    { it = task; iid; i_ord = 0; inodes = nodes; inode_by_id;
-      ififos = fifos; i_waves = Hashtbl.create 8; i_lo = 0; i_count = 0;
-      next_wave = 0; live = true; idynamic = dynamic; ipipe_loop; iprime;
-      junction = Queue.create (); isyncs; i_fire_nodes = [];
-      i_emit_nodes = []; i_qfire = false; i_qemit = false;
-      i_qcomplete = false; i_qjunction = false;
-      i_prof = Tr.Prof.make ~born:sim.now ~nnodes:(Array.length nodes) }
+    { it = task; iid; i_ord = 0; i_slot = 0; inodes = nodes; inode_by_id;
+      ififos = fifos; iw_wave = [||]; iw_iv = [||]; i_lo = 0; i_count = 0;
+      next_wave = 0; live = true; i_retired = -1; idynamic = dynamic;
+      ipipe_loop; iprime; i_init_eid; i_init_tags; i_init_nums;
+      i_init_flts; i_init_objs; ij_space = [||]; ij_sr = [||]; ij_head = 0;
+      ij_tail = 0; isyncs;
+      if_v = Array.make nnodes dummy_node;
+      if_v2 = Array.make nnodes dummy_node; if_n = 0;
+      ie_v = Array.make nnodes dummy_node;
+      ie_v2 = Array.make nnodes dummy_node; ie_n = 0; i_qfire = false;
+      i_qemit = false; i_qcomplete = false; i_qjunction = false;
+      ivp = [||]; ivp_n = 0; i_nres = List.length task.res_tys;
+      i_sc = Exec.make_sc ~slots:((max_arity * 2) + 4);
+      i_prof = Tr.Prof.make ~born:sim.now ~nnodes;
+      i_nctr =
+        Array.map
+          (fun (n : node_rt) ->
+            Ctr.node_ctr sim.ctrs ~task:task.tid ~node:n.nr.G.nid)
+          nodes }
   in
   (* Back-pointers so channel events can wake producer/consumer. *)
   List.iter
@@ -453,14 +899,111 @@ let new_instance (sim : t) (task : G.task) ~(dynamic : bool) : instance =
       | Some n -> f.f_src <- Some (inst, n)
       | None -> ())
     task.edges;
-  sim.live_nodes <- sim.live_nodes + Array.length nodes;
+  sim.live_nodes <- sim.live_nodes + nnodes;
   (* First cycle behaves like a dense sweep over the fresh instance:
      initial loop-control tokens can enable nodes with no other wake
      source. *)
   Array.iter (fun n -> wake_fire sim inst n) nodes;
   inst
 
-let create ?tracer (c : G.circuit) : t =
+(* Rebirth a pooled dynamic instance in place: channels back to their
+   primed state, node state cleared, profile reset — no allocation on
+   this path beyond worklist growth. *)
+let reset_instance (sim : t) (inst : instance) : unit =
+  for e = 0 to Array.length inst.ififos - 1 do
+    let f = inst.ififos.(e) in
+    f.fhead <- 0;
+    f.fmid <- 0;
+    f.ftail <- 0
+  done;
+  for k = 0 to Array.length inst.i_init_eid - 1 do
+    let f = inst.ififos.(inst.i_init_eid.(k)) in
+    let i = f.ftail land f.fmask in
+    f.ftags.(i) <- inst.i_init_tags.(k);
+    f.fnums.(i) <- inst.i_init_nums.(k);
+    f.fflts.(i) <- inst.i_init_flts.(k);
+    f.fobjs.(i) <- inst.i_init_objs.(k);
+    f.ftail <- f.ftail + 1;
+    f.fmid <- f.ftail
+  done;
+  for i = 0 to Array.length inst.inodes - 1 do
+    let n = inst.inodes.(i) in
+    n.nr_fired <- 0;
+    n.nr_busy_until <- 0;
+    n.np_head <- 0;
+    n.np_tail <- 0;
+    n.nm_head <- 0;
+    n.nm_tail <- 0;
+    if Array.length n.rs_wave > 0 then
+      Array.fill n.rs_wave 0 (Array.length n.rs_wave) (-1);
+    n.nr_next_resp <- 0;
+    n.ns_head <- 0;
+    n.ns_tail <- 0;
+    n.nr_qfire <- false;
+    n.nr_qemit <- false;
+    n.nr_wait_child <- false
+  done;
+  if Array.length inst.iw_wave > 0 then
+    Array.fill inst.iw_wave 0 (Array.length inst.iw_wave) (-1);
+  inst.i_lo <- 0;
+  inst.i_count <- 0;
+  inst.next_wave <- 0;
+  inst.ij_head <- 0;
+  inst.ij_tail <- 0;
+  inst.if_n <- 0;
+  inst.ie_n <- 0;
+  inst.i_qfire <- false;
+  inst.i_qemit <- false;
+  inst.i_qcomplete <- false;
+  inst.i_qjunction <- false;
+  Tr.Prof.reset inst.i_prof ~born:sim.now;
+  inst.live <- true;
+  sim.live_nodes <- sim.live_nodes + Array.length inst.inodes;
+  for i = 0 to Array.length inst.inodes - 1 do
+    wake_fire sim inst inst.inodes.(i)
+  done
+
+(* Retired-instance pool ring (FIFO; the head is only reusable once
+   its retirement cycle has passed, so staged channel writes from the
+   dying cycle have flushed). *)
+let pool_put (trt : task_rt) (inst : instance) : unit =
+  let cap = Array.length trt.tp_v in
+  let n = trt.tp_tail - trt.tp_head in
+  if n = cap then begin
+    let ncap = max 8 (cap * 2) in
+    let nv = Array.make ncap inst in
+    for i = 0 to n - 1 do
+      nv.(i) <- trt.tp_v.((trt.tp_head + i) mod max cap 1)
+    done;
+    trt.tp_v <- nv;
+    trt.tp_head <- 0;
+    trt.tp_tail <- n
+  end;
+  trt.tp_v.(trt.tp_tail mod Array.length trt.tp_v) <- inst;
+  trt.tp_tail <- trt.tp_tail + 1
+
+let acquire_instance (sim : t) (trt : task_rt) : instance =
+  if
+    trt.tp_tail - trt.tp_head > 0
+    && trt.tp_v.(trt.tp_head mod Array.length trt.tp_v).i_retired < sim.now
+  then begin
+    let inst = trt.tp_v.(trt.tp_head mod Array.length trt.tp_v) in
+    trt.tp_head <- trt.tp_head + 1;
+    reset_instance sim inst;
+    inst
+  end
+  else begin
+    (* Fresh instances register on the task's roster (reborn pooled
+       ones already sit there); the roster feeds the final counter
+       fold and the deadlock dump. *)
+    let inst = new_instance sim trt.tk ~dynamic:true in
+    inst.i_slot <- trt.tinst_n;
+    trt.tinst <- vpush trt.tinst trt.tinst_n inst;
+    trt.tinst_n <- trt.tinst_n + 1;
+    inst
+  end
+
+let create ?tracer ?(jobs = 1) (c : G.circuit) : t =
   Muir_core.Validate.check_exn c;
   let mem = Muir_ir.Memory.create c.prog in
   let ms = Memsys.create c mem in
@@ -470,71 +1013,135 @@ let create ?tracer (c : G.circuit) : t =
     Array.of_list
       (List.map
          (fun (t : G.task) ->
-           { tk = t; tqueue = Queue.create (); tinstances = [];
-             tdynamic = dyn.(t.tid); tinvocations = 0; tbusy = 0;
-             trr = 0; t_next_ord = -1; t_fire = []; t_emit = [];
-             t_complete = []; t_junction = []; t_wait_child = [] })
+           { tk = t; t_arity = List.length t.arg_tys;
+             t_nres = List.length t.res_tys; tdynamic = dyn.(t.tid);
+             tq_tags = [||]; tq_nums = [||]; tq_flts = [||];
+             tq_objs = [||]; tq_ctx = [||]; tq_rkind = [||];
+             tq_rinst = [||]; tq_rnode = [||]; tq_rwave = [||];
+             tq_rctx = [||]; tq_head = 0; tq_tail = 0; tinst = [||];
+             tinst_n = 0; tinvocations = 0; tbusy = 0;
+             t_fired_now = false; trr = 0; t_next_ord = -1; tf_v = [||];
+             tf_v2 = [||]; tf_n = 0; te_v = [||]; te_v2 = [||]; te_n = 0;
+             tc_v = [||]; tc_n = 0; tc2 = [||]; tj_v = [||]; tj_v2 = [||];
+             tj_n = 0; tw_inst = [||]; tw_node = [||]; tw_n = 0;
+             td_inst = [||]; td_node = [||]; td_n = 0; tp_v = [||];
+             tp_head = 0; tp_tail = 0 })
          c.tasks)
   in
+  let njobs = max 1 jobs in
+  let ctrs = Ctr.create () in
   let sim =
     { circ = c; ms; tasks; now = 0; fires = 0; last_activity = 0;
-      next_iid = 0; root_result = None;
-      junction_width =
-        Array.init n (fun tid -> G.junction_width c tid);
-      max_outstanding = 8; timed = Hashtbl.create 64; dirty_fifos = [];
-      woken = 0; live_nodes = 0; node_cycles = 0; tr = tracer;
-      ctrs = Ctr.create () }
+      next_iid = 0; root_done = false; root_val = T.VBool true;
+      junction_width = Array.init n (fun tid -> G.junction_width c tid);
+      max_outstanding = 8;
+      lanes =
+        Array.init njobs (fun _ ->
+            { wheel =
+                Array.init wheel_size (fun _ ->
+                    { wi = [||]; wn = [||]; wc = [||]; wk = [||]; w_n = 0 });
+              ld_v = [||]; ld_n = 0; l_fires = 0; l_woken = 0;
+              l_syncs = 0; l_active = false });
+      njobs; dpool = None; woken = 0; live_nodes = 0; node_cycles = 0;
+      tr = tracer; ctrs;
+      otasks = Array.init n (fun tid -> Ctr.occ_ref ctrs (Ctr.Ktask tid));
+      ostructs =
+        Array.init (Memsys.nstructs ms) (fun i ->
+            Ctr.occ_ref ctrs (Ctr.Kstruct (Memsys.struct_sid ms i))) }
   in
   (* Static instances for non-dynamic tasks: one per tile. *)
   Array.iter
     (fun trt ->
-      if not trt.tdynamic then begin
-        trt.tinstances <-
-          List.init trt.tk.tiles (fun _ ->
-              new_instance sim trt.tk ~dynamic:false);
-        List.iteri (fun k inst -> inst.i_ord <- k) trt.tinstances
-      end)
+      if not trt.tdynamic then
+        for k = 0 to trt.tk.tiles - 1 do
+          let inst = new_instance sim trt.tk ~dynamic:false in
+          inst.i_ord <- k;
+          inst.i_slot <- k;
+          trt.tinst <- vpush trt.tinst trt.tinst_n inst;
+          trt.tinst_n <- trt.tinst_n + 1
+        done)
     tasks;
   sim
 
 (* ------------------------------------------------------------------ *)
 (* Invocation plumbing                                                  *)
 
+(* Wave table: open-addressed by [wave land (cap-1)] with the wave as
+   its own tag.  Live waves occupy a dense window, so a table at least
+   as large as the window never collides; grow (rarely) on collision. *)
+let rec wv_grow (inst : instance) (ncap : int) : unit =
+  let nw = Array.make ncap (-1) in
+  let ni = Array.make ncap dummy_inv in
+  let ok = ref true in
+  Array.iteri
+    (fun k w ->
+      if w >= 0 && !ok then begin
+        let s = w land (ncap - 1) in
+        if nw.(s) >= 0 then ok := false
+        else begin
+          nw.(s) <- w;
+          ni.(s) <- inst.iw_iv.(k)
+        end
+      end)
+    inst.iw_wave;
+  if !ok then begin
+    inst.iw_wave <- nw;
+    inst.iw_iv <- ni
+  end
+  else wv_grow inst (ncap * 2)
+
+let rec wv_insert (inst : instance) (wave : int) (iv : invocation) : unit =
+  let cap = Array.length inst.iw_wave in
+  if cap = 0 then begin
+    inst.iw_wave <- Array.make 8 (-1);
+    inst.iw_iv <- Array.make 8 dummy_inv;
+    wv_insert inst wave iv
+  end
+  else begin
+    let s = wave land (cap - 1) in
+    if inst.iw_wave.(s) < 0 then begin
+      inst.iw_wave.(s) <- wave;
+      inst.iw_iv.(s) <- iv
+    end
+    else begin
+      wv_grow inst (cap * 2);
+      wv_insert inst wave iv
+    end
+  end
+
+let wv_mem (inst : instance) (wave : int) : bool =
+  let cap = Array.length inst.iw_wave in
+  cap > 0 && inst.iw_wave.(wave land (cap - 1)) = wave
+
+let wv_get (inst : instance) (wave : int) : invocation =
+  inst.iw_iv.(wave land (Array.length inst.iw_wave - 1))
+
+let wv_remove (inst : instance) (wave : int) : unit =
+  inst.iw_wave.(wave land (Array.length inst.iw_wave - 1)) <- -1;
+  inst.i_count <- inst.i_count - 1
+
 let find_inv (inst : instance) (wave : int) : invocation =
-  match Hashtbl.find_opt inst.i_waves wave with
-  | Some iv -> iv
-  | None ->
+  if wv_mem inst wave then wv_get inst wave
+  else
     raise
       (Deadlock
          (Fmt.str "task %s: no inflight invocation for wave %d" inst.it.tname
             wave))
 
-(** Oldest inflight invocation (lowest wave), advancing the window's
-    low cursor past completed waves. *)
-let oldest_inv (inst : instance) : invocation option =
-  if inst.i_count = 0 then None
-  else begin
-    let rec go w =
-      if w >= inst.next_wave then None
-      else
-        match Hashtbl.find_opt inst.i_waves w with
-        | Some iv ->
-          inst.i_lo <- w;
-          Some iv
-        | None -> go (w + 1)
-    in
-    go inst.i_lo
-  end
+(** Oldest inflight wave (advancing the window's low cursor past
+    completed waves), or [-1] if none. *)
+let rec oldest_wave_from (inst : instance) (w : int) : int =
+  if w >= inst.next_wave then -1
+  else if wv_mem inst w then w
+  else oldest_wave_from inst (w + 1)
 
-(** Inflight invocations in wave (= invocation) order. *)
-let inflight_waves (inst : instance) : (int * invocation) list =
-  let acc = ref [] in
-  for w = inst.next_wave - 1 downto inst.i_lo do
-    match Hashtbl.find_opt inst.i_waves w with
-    | Some iv -> acc := (w, iv) :: !acc
-    | None -> ()
-  done;
-  !acc
+let oldest_wave (inst : instance) : int =
+  if inst.i_count = 0 then -1
+  else begin
+    let w = oldest_wave_from inst inst.i_lo in
+    if w >= 0 then inst.i_lo <- w;
+    w
+  end
 
 (** The invocation a firing of node [n] belongs to.  In function tasks
     every node fires exactly once per wave; in loop tasks only one
@@ -542,80 +1149,344 @@ let inflight_waves (inst : instance) : (int * invocation) list =
 let attr_inv (inst : instance) (n : node_rt) : invocation =
   match inst.it.tkind with
   | G.Tfunc -> find_inv inst n.nr_fired
-  | G.Tloop _ -> (
-    match oldest_inv inst with
-    | Some iv -> iv
-    | None ->
+  | G.Tloop _ ->
+    let w = oldest_wave inst in
+    if w >= 0 then wv_get inst w
+    else
       raise
         (Deadlock
            (Fmt.str "loop task %s fired with no inflight invocation"
-              inst.it.tname)))
+              inst.it.tname))
 
 (** Can this instance accept another invocation right now? *)
+let rec ca_fans (fs : fifo array) (k : int) : bool =
+  k >= Array.length fs || (fifo_space fs.(k) && ca_fans fs (k + 1))
+
+let rec ca_ports (outs : fifo array array) (p : int) : bool =
+  p >= Array.length outs || (ca_fans outs.(p) 0 && ca_ports outs (p + 1))
+
+let rec ca_nodes (inst : instance) (i : int) : bool =
+  i >= Array.length inst.inodes
+  || ((match inst.inodes.(i).nr.kind with
+      | G.LiveIn _ -> ca_ports inst.inodes.(i).nr_out 0
+      | _ -> true)
+     && ca_nodes inst (i + 1))
+
 let can_accept (inst : instance) : bool =
   (match inst.it.tkind with
   | G.Tloop _ -> inst.ipipe_loop || inst.i_count = 0
   | G.Tfunc -> true)
-  && List.for_all
-       (fun (n : node_rt) ->
-         match n.nr.kind with
-         | G.LiveIn _ -> Array.for_all (List.for_all fifo_space) n.nr_out
-         | _ -> true)
-       (Array.to_list inst.inodes)
+  && ca_nodes inst 0
 
-let inject (sim : t) (trt : task_rt) (inst : instance) (m : msg) : unit =
+(* Invocation pool: records (and their own sync context, for function
+   tasks) are built once per instance and recycled. *)
+let new_invocation (inst : instance) : invocation =
+  let own =
+    match inst.it.tkind with
+    | G.Tfunc ->
+      Some
+        { live_children = 0; cx_owner = Some inst; cx_w_inst = [||];
+          cx_w_node = [||]; cx_nw = 0 }
+    | G.Tloop _ -> None
+  in
+  let nres = inst.i_nres in
+  { iv_gen = 0; iv_wave = 0; iv_rkind = 0; iv_rinst = dummy_inst;
+    iv_rnode = dummy_node;
+    iv_rwave = 0; iv_rctx = dummy_ctx; iv_eff_ctx = dummy_ctx; iv_own = own;
+    iv_lo_tags = Array.make nres F.tabsent;
+    iv_lo_nums = Array.make nres 0; iv_lo_flts = Array.make nres 0.0;
+    iv_lo_objs = Array.make nres F.no_obj; iv_stores = 0 }
+
+let acquire_inv (inst : instance) : invocation =
+  if inst.ivp_n > 0 then begin
+    inst.ivp_n <- inst.ivp_n - 1;
+    let iv = inst.ivp.(inst.ivp_n) in
+    iv.iv_gen <- iv.iv_gen + 1;
+    iv
+  end
+  else new_invocation inst
+
+let release_inv (inst : instance) (iv : invocation) : unit =
+  inst.ivp <- vpush inst.ivp inst.ivp_n iv;
+  inst.ivp_n <- inst.ivp_n + 1
+
+(* Response reorder table: same open-addressing discipline as the wave
+   table, with [rs_w] token columns per row. *)
+let rec resp_grow (n : node_rt) (ncap : int) : unit =
+  let w = max n.rs_w 1 in
+  let nw = Array.make ncap (-1) in
+  let nt = Array.make (ncap * w) F.tabsent in
+  let nn = Array.make (ncap * w) 0 in
+  let nf = Array.make (ncap * w) 0.0 in
+  let no = Array.make (ncap * w) F.no_obj in
+  let ok = ref true in
+  Array.iteri
+    (fun k wv ->
+      if wv >= 0 && !ok then begin
+        let s = wv land (ncap - 1) in
+        if nw.(s) >= 0 then ok := false
+        else begin
+          nw.(s) <- wv;
+          Array.blit n.rs_tags (k * w) nt (s * w) w;
+          Array.blit n.rs_nums (k * w) nn (s * w) w;
+          Array.blit n.rs_flts (k * w) nf (s * w) w;
+          Array.blit n.rs_objs (k * w) no (s * w) w
+        end
+      end)
+    n.rs_wave;
+  if !ok then begin
+    n.rs_wave <- nw;
+    n.rs_tags <- nt;
+    n.rs_nums <- nn;
+    n.rs_flts <- nf;
+    n.rs_objs <- no
+  end
+  else resp_grow n (ncap * 2)
+
+(** Claim the row for [wave]; the caller fills the token columns at
+    [slot * max rs_w 1]. *)
+let rec resp_insert (n : node_rt) (wave : int) : int =
+  let cap = Array.length n.rs_wave in
+  if cap = 0 then begin
+    let w = max n.rs_w 1 in
+    n.rs_wave <- Array.make 4 (-1);
+    n.rs_tags <- Array.make (4 * w) F.tabsent;
+    n.rs_nums <- Array.make (4 * w) 0;
+    n.rs_flts <- Array.make (4 * w) 0.0;
+    n.rs_objs <- Array.make (4 * w) F.no_obj;
+    resp_insert n wave
+  end
+  else begin
+    let s = wave land (cap - 1) in
+    if n.rs_wave.(s) < 0 || n.rs_wave.(s) = wave then begin
+      n.rs_wave.(s) <- wave;
+      s
+    end
+    else begin
+      resp_grow n (cap * 2);
+      resp_insert n wave
+    end
+  end
+
+let resp_ready (n : node_rt) (wave : int) : bool =
+  let cap = Array.length n.rs_wave in
+  cap > 0 && n.rs_wave.(wave land (cap - 1)) = wave
+
+(* Sync-completion ring of (invocation, wave) entries. *)
+let sync_push (n : node_rt) (iv : invocation) (wave : int) : unit =
+  let cap = Array.length n.ns_wave in
+  let m = n.ns_tail - n.ns_head in
+  if m = cap then begin
+    let ncap = max 4 (cap * 2) in
+    let ni = Array.make ncap dummy_inv in
+    let nv = Array.make ncap 0 in
+    let ng = Array.make ncap 0 in
+    for i = 0 to m - 1 do
+      let s = (n.ns_head + i) land (cap - 1) in
+      ni.(i) <- n.ns_inv.(s);
+      nv.(i) <- n.ns_wave.(s);
+      ng.(i) <- n.ns_gen.(s)
+    done;
+    n.ns_inv <- ni;
+    n.ns_wave <- nv;
+    n.ns_gen <- ng;
+    n.ns_head <- 0;
+    n.ns_tail <- m
+  end;
+  let s = n.ns_tail land (Array.length n.ns_wave - 1) in
+  n.ns_inv.(s) <- iv;
+  n.ns_wave.(s) <- wave;
+  n.ns_gen.(s) <- iv.iv_gen;
+  n.ns_tail <- n.ns_tail + 1
+
+(* Junction ring of (space, sub-request) entries awaiting arbitration. *)
+let dummy_sr : Memsys.subreq = dummy_access.Memsys.a_srs.(0)
+
+let junction_push (inst : instance) (space : int) (sr : Memsys.subreq) : unit
+    =
+  let cap = Array.length inst.ij_space in
+  let m = inst.ij_tail - inst.ij_head in
+  if m = cap then begin
+    let ncap = max 8 (cap * 2) in
+    let nsp = Array.make ncap 0 in
+    let nsr = Array.make ncap dummy_sr in
+    for i = 0 to m - 1 do
+      let s = (inst.ij_head + i) land (cap - 1) in
+      nsp.(i) <- inst.ij_space.(s);
+      nsr.(i) <- inst.ij_sr.(s)
+    done;
+    inst.ij_space <- nsp;
+    inst.ij_sr <- nsr;
+    inst.ij_head <- 0;
+    inst.ij_tail <- m
+  end;
+  let s = inst.ij_tail land (Array.length inst.ij_space - 1) in
+  inst.ij_space.(s) <- space;
+  inst.ij_sr.(s) <- sr;
+  inst.ij_tail <- inst.ij_tail + 1
+
+(* Park a sync node on its join context (dedup by node identity). *)
+let rec cx_parked_from (c : sync_ctx) (n : node_rt) (i : int) : bool =
+  i < c.cx_nw && (c.cx_w_node.(i) == n || cx_parked_from c n (i + 1))
+
+let cx_park (c : sync_ctx) (inst : instance) (n : node_rt) : unit =
+  if not (cx_parked_from c n 0) then begin
+    c.cx_w_inst <- vpush c.cx_w_inst c.cx_nw inst;
+    c.cx_w_node <- vpush c.cx_w_node c.cx_nw n;
+    c.cx_nw <- c.cx_nw + 1
+  end
+
+(* Task invocation queue: a ring of flat rows, [t_arity] argument
+   columns plus the reply-routing fields. *)
+let tq_len (trt : task_rt) : int = trt.tq_tail - trt.tq_head
+
+let tq_grow (trt : task_rt) : unit =
+  let cap = Array.length trt.tq_rkind in
+  let ncap = max 8 (cap * 2) in
+  let ar = max trt.t_arity 1 in
+  let n = trt.tq_tail - trt.tq_head in
+  let ntags = Array.make (ncap * ar) F.tabsent in
+  let nnums = Array.make (ncap * ar) 0 in
+  let nflts = Array.make (ncap * ar) 0.0 in
+  let nobjs = Array.make (ncap * ar) F.no_obj in
+  let nctx = Array.make ncap dummy_ctx in
+  let nrk = Array.make ncap 0 in
+  let nri = Array.make ncap dummy_inst in
+  let nrn = Array.make ncap dummy_node in
+  let nrw = Array.make ncap 0 in
+  let nrc = Array.make ncap dummy_ctx in
+  for i = 0 to n - 1 do
+    let s = (trt.tq_head + i) land (cap - 1) in
+    Array.blit trt.tq_tags (s * ar) ntags (i * ar) ar;
+    Array.blit trt.tq_nums (s * ar) nnums (i * ar) ar;
+    Array.blit trt.tq_flts (s * ar) nflts (i * ar) ar;
+    Array.blit trt.tq_objs (s * ar) nobjs (i * ar) ar;
+    nctx.(i) <- trt.tq_ctx.(s);
+    nrk.(i) <- trt.tq_rkind.(s);
+    nri.(i) <- trt.tq_rinst.(s);
+    nrn.(i) <- trt.tq_rnode.(s);
+    nrw.(i) <- trt.tq_rwave.(s);
+    nrc.(i) <- trt.tq_rctx.(s)
+  done;
+  trt.tq_tags <- ntags;
+  trt.tq_nums <- nnums;
+  trt.tq_flts <- nflts;
+  trt.tq_objs <- nobjs;
+  trt.tq_ctx <- nctx;
+  trt.tq_rkind <- nrk;
+  trt.tq_rinst <- nri;
+  trt.tq_rnode <- nrn;
+  trt.tq_rwave <- nrw;
+  trt.tq_rctx <- nrc;
+  trt.tq_head <- 0;
+  trt.tq_tail <- n
+
+(** Reserve the tail row; the caller fills the argument columns at
+    [slot * max t_arity 1]. *)
+let tq_push (trt : task_rt) ~(ctx : sync_ctx) ~(rkind : int)
+    ~(rinst : instance) ~(rnode : node_rt) ~(rwave : int) ~(rctx : sync_ctx)
+    : int =
+  if trt.tq_tail - trt.tq_head = Array.length trt.tq_rkind then tq_grow trt;
+  let s = trt.tq_tail land (Array.length trt.tq_rkind - 1) in
+  trt.tq_ctx.(s) <- ctx;
+  trt.tq_rkind.(s) <- rkind;
+  trt.tq_rinst.(s) <- rinst;
+  trt.tq_rnode.(s) <- rnode;
+  trt.tq_rwave.(s) <- rwave;
+  trt.tq_rctx.(s) <- rctx;
+  trt.tq_tail <- trt.tq_tail + 1;
+  s
+
+let inject (sim : t) (trt : task_rt) (inst : instance) (s : int) : unit =
   let wave = inst.next_wave in
   inst.next_wave <- wave + 1;
   trt.tinvocations <- trt.tinvocations + 1;
-  let own_ctx =
-    match inst.it.tkind with
-    | G.Tfunc ->
-      Some { live_children = 0; cx_owner = Some inst; cx_waiters = [] }
-    | G.Tloop _ -> None
-  in
-  let iv =
-    { iv_wave = wave; iv_reply = m.m_reply;
-      iv_eff_ctx =
-        (match own_ctx with Some c -> c | None -> m.m_ctx);
-      iv_own_ctx = own_ctx;
-      iv_liveouts = Array.make (List.length inst.it.res_tys) None;
-      iv_stores = 0 }
-  in
-  Hashtbl.replace inst.i_waves wave iv;
+  let iv = acquire_inv inst in
+  iv.iv_wave <- wave;
+  iv.iv_rkind <- trt.tq_rkind.(s);
+  iv.iv_rinst <- trt.tq_rinst.(s);
+  iv.iv_rnode <- trt.tq_rnode.(s);
+  iv.iv_rwave <- trt.tq_rwave.(s);
+  iv.iv_rctx <- trt.tq_rctx.(s);
+  (match iv.iv_own with
+  | Some c ->
+    c.live_children <- 0;
+    c.cx_nw <- 0;
+    iv.iv_eff_ctx <- c
+  | None -> iv.iv_eff_ctx <- trt.tq_ctx.(s));
+  if inst.i_nres > 0 then Array.fill iv.iv_lo_tags 0 inst.i_nres F.tabsent;
+  iv.iv_stores <- 0;
+  wv_insert inst wave iv;
   inst.i_count <- inst.i_count + 1;
-  Array.iter
-    (fun (n : node_rt) ->
-      match n.nr.kind with
-      | G.LiveIn i ->
-        let v = if i < Array.length m.m_args then m.m_args.(i) else T.VPoison in
-        List.iter (fun f -> fifo_push sim f v) n.nr_out.(0)
-      | _ -> ())
-    inst.inodes;
+  let base = s * max trt.t_arity 1 in
+  let ln0 = sim.lanes.(0) in
+  for j = 0 to Array.length inst.inodes - 1 do
+    let n = inst.inodes.(j) in
+    match n.nr.kind with
+    | G.LiveIn i ->
+      let fs = n.nr_out.(0) in
+      if i < trt.t_arity then
+        for k = 0 to Array.length fs - 1 do
+          fifo_push ln0 fs.(k) trt.tq_tags.(base + i)
+            trt.tq_nums.(base + i) trt.tq_flts
+            (base + i)
+            trt.tq_objs.(base + i)
+        done
+      else
+        for k = 0 to Array.length fs - 1 do
+          fifo_push ln0 fs.(k) F.tpoison 0 f0 0 F.no_obj
+        done
+    | _ -> ()
+  done;
   wake_complete sim inst;
   sim.last_activity <- sim.now
 
-(** Deliver a completed child's results to its parent. *)
-let deliver_reply (sim : t) (reply : reply) (res : token array) : unit =
-  match reply with
-  | Rroot -> sim.root_result <- Some res
-  | Rcall { r_inst; r_node; r_wave } ->
-    let n = Option.get r_inst.inode_by_id.(r_node) in
-    Hashtbl.replace n.nr_resp r_wave res;
-    wake_emit sim r_inst n
-  | Rspawn { r_inst; r_node; r_wave; r_ctx } ->
-    ctx_dec sim r_ctx;
-    let v = if Array.length res > 1 then res.(1) else T.VBool true in
-    let n = Option.get r_inst.inode_by_id.(r_node) in
-    Hashtbl.replace n.nr_resp r_wave [| v |];
-    wake_emit sim r_inst n
+(** Deliver a completed invocation's live-outs to its parent. *)
+let deliver (sim : t) (inst : instance) (iv : invocation) : unit =
+  match iv.iv_rkind with
+  | 0 ->
+    sim.root_done <- true;
+    sim.root_val <-
+      (if inst.i_nres > 1 then
+         F.materialize iv.iv_lo_tags.(1) iv.iv_lo_nums.(1) iv.iv_lo_flts.(1)
+           iv.iv_lo_objs.(1)
+       else T.VBool true)
+  | 1 ->
+    let n = iv.iv_rnode in
+    let w = max n.rs_w 1 in
+    let s = resp_insert n iv.iv_rwave in
+    let k = min n.rs_w inst.i_nres in
+    Array.blit iv.iv_lo_tags 0 n.rs_tags (s * w) k;
+    Array.blit iv.iv_lo_nums 0 n.rs_nums (s * w) k;
+    Array.blit iv.iv_lo_flts 0 n.rs_flts (s * w) k;
+    Array.blit iv.iv_lo_objs 0 n.rs_objs (s * w) k;
+    wake_emit sim iv.iv_rinst n
+  | _ ->
+    ctx_dec sim iv.iv_rctx;
+    let n = iv.iv_rnode in
+    let s = resp_insert n iv.iv_rwave in
+    if inst.i_nres > 1 then begin
+      n.rs_tags.(s) <- iv.iv_lo_tags.(1);
+      n.rs_nums.(s) <- iv.iv_lo_nums.(1);
+      n.rs_flts.(s) <- iv.iv_lo_flts.(1);
+      n.rs_objs.(s) <- iv.iv_lo_objs.(1)
+    end
+    else begin
+      n.rs_tags.(s) <- F.ttrue;
+      n.rs_nums.(s) <- 0;
+      n.rs_flts.(s) <- 0.0;
+      n.rs_objs.(s) <- F.no_obj
+    end;
+    wake_emit sim iv.iv_rinst n
 
 (** A function-task wave is fully fired once every node (live-ins are
     driven by injection) has consumed it — this is exact because every
     node fires exactly once per wave in a predicated hyperblock. *)
-let wave_fully_fired (inst : instance) (wave : int) : bool =
-  Array.for_all
-    (fun (n : node_rt) ->
-      match n.nr.kind with
+let rec wave_fully_fired_from (inst : instance) (wave : int) (i : int) :
+    bool =
+  i >= Array.length inst.inodes
+  || (let n = inst.inodes.(i) in
+      (match n.nr.kind with
       | G.LiveIn _ -> true
       | G.CallChild _ | G.SpawnChild _ ->
         (* The child invoked for this wave must itself have completed
@@ -623,112 +1494,130 @@ let wave_fully_fired (inst : instance) (wave : int) : bool =
            otherwise race ahead of the caller's completion. *)
         n.nr_fired > wave && n.nr_next_resp > wave
       | _ -> n.nr_fired > wave)
-    inst.inodes
+      && wave_fully_fired_from inst wave (i + 1))
+
+let wave_fully_fired (inst : instance) (wave : int) : bool =
+  wave_fully_fired_from inst wave 0
 
 (** A loop instance is quiescent when every token at rest sits on a
     primed edge (loop-control or ordering back edges) at its resting
     count and no node holds in-flight work.  Mid-invocation the
     carried values necessarily occupy other channels or pipelines, so
     quiescence is equivalent to "the invocation has fully drained". *)
-let loop_quiescent (inst : instance) : bool =
-  Array.for_all
-    (fun (n : node_rt) ->
-      Queue.is_empty n.nr_pipe && Queue.is_empty n.nr_mem
-      && Hashtbl.length n.nr_resp = 0
-      && Queue.is_empty n.nr_sync
+let rec no_live_resp (n : node_rt) (k : int) : bool =
+  k >= Array.length n.rs_wave
+  || (n.rs_wave.(k) < 0 && no_live_resp n (k + 1))
+
+let rec lq_nodes_from (inst : instance) (i : int) : bool =
+  i >= Array.length inst.inodes
+  || (let n = inst.inodes.(i) in
+      n.np_tail - n.np_head = 0
+      && n.nm_tail - n.nm_head = 0
+      && no_live_resp n 0
+      && n.ns_tail - n.ns_head = 0
       && (match n.nr.kind with
          | G.CallChild _ | G.SpawnChild _ -> n.nr_next_resp = n.nr_fired
-         | _ -> true))
-    inst.inodes
-  && Queue.is_empty inst.junction
-  && Array.for_all2
-       (fun (f : fifo) prime ->
-         Queue.length f.fq + Queue.length f.staged = prime)
-       inst.ififos inst.iprime
+         | _ -> true)
+      && lq_nodes_from inst (i + 1))
 
-let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
-  let complete =
-    List.filter
-      (fun ((wave, iv) : int * invocation) ->
-        Array.for_all Option.is_some iv.iv_liveouts
+let rec lq_fifos_from (inst : instance) (e : int) : bool =
+  e >= Array.length inst.ififos
+  || (let f = inst.ififos.(e) in
+      f.ftail - f.fhead = inst.iprime.(e) && lq_fifos_from inst (e + 1))
+
+let loop_quiescent (inst : instance) : bool =
+  lq_nodes_from inst 0
+  && inst.ij_tail - inst.ij_head = 0
+  && lq_fifos_from inst 0
+
+let rec lo_ready_from (iv : invocation) (nres : int) (k : int) : bool =
+  k >= nres
+  || (iv.iv_lo_tags.(k) <> F.tabsent && lo_ready_from iv nres (k + 1))
+
+(* Scan waves [w, next_wave) for completions; returns how many
+   completed.  Tail-recursive — the counter rides in an argument. *)
+let rec complete_scan (sim : t) (inst : instance) (w : int)
+    (completed : int) : int =
+  if w >= inst.next_wave then completed
+  else
+    let completed =
+      if
+        wv_mem inst w
+        &&
+        let iv = wv_get inst w in
+        lo_ready_from iv inst.i_nres 0
         && iv.iv_stores = 0
-        && (match iv.iv_own_ctx with
+        && (match iv.iv_own with
            | Some c -> c.live_children = 0
            | None -> true)
         && (match inst.it.tkind with
-           | G.Tfunc -> wave_fully_fired inst wave
+           | G.Tfunc -> wave_fully_fired inst w
            | G.Tloop _ ->
              (* leaf loops have no side effects to wait for: the
                 live-out tuple is the whole observable result *)
-             inst.ipipe_loop || loop_quiescent inst))
-      (inflight_waves inst)
-  in
-  if complete <> [] then begin
-    List.iter (fun (wave, _) -> Hashtbl.remove inst.i_waves wave) complete;
-    inst.i_count <- inst.i_count - List.length complete;
-    while
-      inst.i_lo < inst.next_wave
-      && not (Hashtbl.mem inst.i_waves inst.i_lo)
-    do
+             inst.ipipe_loop || loop_quiescent inst)
+      then begin
+        let iv = wv_get inst w in
+        wv_remove inst w;
+        sim.last_activity <- sim.now;
+        deliver sim inst iv;
+        release_inv inst iv;
+        completed + 1
+      end
+      else completed
+    in
+    complete_scan sim inst (w + 1) completed
+
+let try_complete (sim : t) (trt : task_rt) (inst : instance) : unit =
+  let completed = complete_scan sim inst inst.i_lo 0 in
+  if completed > 0 then begin
+    while inst.i_lo < inst.next_wave && not (wv_mem inst inst.i_lo) do
       inst.i_lo <- inst.i_lo + 1
     done;
-    sim.last_activity <- sim.now;
-    List.iter
-      (fun (_, iv) ->
-        let res = Array.map Option.get iv.iv_liveouts in
-        deliver_reply sim iv.iv_reply res)
-      complete;
     if inst.i_count = 0 then begin
       (* Invocation drained: every node is idle from the next cycle.
          A retiring dynamic instance also folds its accounting into
-         the whole-run counter bank here, before it disappears. *)
+         the whole-run counter bank here, before it returns to the
+         instance pool. *)
       let ip = inst.i_prof in
-      Array.iter
-        (fun np ->
-          ignore
-            (Tr.Prof.transition np (Tr.cause_index Tr.Idle) (sim.now + 1)))
-        ip.nprofs;
-      if inst.idynamic then
-        Array.iteri
-          (fun i np ->
-            let n = inst.inodes.(i) in
-            Ctr.fold sim.ctrs ~task:inst.it.tid ~node:n.nr.nid
-              ~fires:n.nr_fired ~born:ip.born ~upto:(sim.now + 1) np)
-          ip.nprofs
-    end;
-    if inst.idynamic && inst.i_count = 0 then begin
-      inst.live <- false;
-      sim.live_nodes <- sim.live_nodes - Array.length inst.inodes;
-      trt.tinstances <-
-        List.filter (fun i -> i.iid <> inst.iid) trt.tinstances
+      for i = 0 to Array.length ip.nprofs - 1 do
+        ignore
+          (Tr.Prof.transition ip.nprofs.(i) (Tr.cause_index Tr.Idle)
+             (sim.now + 1))
+      done;
+      if inst.idynamic then begin
+        for i = 0 to Array.length ip.nprofs - 1 do
+          Ctr.fold_into inst.i_nctr.(i)
+            ~fires:inst.inodes.(i).nr_fired ~born:ip.born
+            ~upto:(sim.now + 1)
+            ip.nprofs.(i)
+        done;
+        inst.live <- false;
+        inst.i_retired <- sim.now;
+        sim.live_nodes <- sim.live_nodes - Array.length inst.inodes;
+        pool_put trt inst
+      end
     end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Node firing (phase A)                                                *)
 
-let peek_in (n : node_rt) (i : int) : token option =
-  match n.nr_in.(i) with
-  | None -> Some n.nr_imm.(i)
-  | Some f -> if Queue.is_empty f.fq then None else Some (Queue.peek f.fq)
-
-let pop_in (sim : t) (n : node_rt) (i : int) : token =
-  match n.nr_in.(i) with
-  | None -> n.nr_imm.(i)
-  | Some f ->
-    let v = Queue.pop f.fq in
-    (* Space freed: the producer's blocked emission may proceed. *)
-    (match f.f_src with
-    | Some (si, sn) -> wake_emit sim si sn
-    | None -> ());
-    v
-
-let all_inputs_ready (n : node_rt) : bool =
-  let ok = ref true in
-  Array.iteri
-    (fun i _ -> if peek_in n i = None then ok := false)
-    n.nr_in;
-  !ok
+(* Push a result into the 4-slot pipeline ring.  Callers check
+   occupancy first. *)
+(* The float rides as [flts.(fi)] rather than a bare [float]: a float
+   argument to a non-inlined call is boxed at the boundary (2-3 minor
+   words per token), while an array-to-array move stays unboxed. *)
+let pipe_push (n : node_rt) (ready : int) (port : int) (tag : int)
+    (num : int) (flts : float array) (fi : int) (obj : token) : unit =
+  let s = n.np_tail land 3 in
+  n.np_ready.(s) <- ready;
+  n.np_port.(s) <- port;
+  n.np_tags.(s) <- tag;
+  n.np_nums.(s) <- num;
+  n.np_flts.(s) <- flts.(fi);
+  n.np_objs.(s) <- obj;
+  n.np_tail <- n.np_tail + 1
 
 (** Could the node fire again with the tokens already committed?  Used
     to self-schedule a re-attempt after a successful firing — no other
@@ -736,270 +1625,379 @@ let all_inputs_ready (n : node_rt) : bool =
 let ready_again (n : node_rt) : bool =
   match n.nr.kind with
   | G.LiveIn _ -> false
-  | G.MergeLoop -> (
-    match peek_in n 0 with
-    | None -> false
-    | Some ctl -> peek_in n (if truthy ctl then 2 else 1) <> None)
+  | G.MergeLoop ->
+    input_ready n 0
+    && (let sel =
+          match n.nr_in.(0) with
+          | None ->
+            if Exec.truthy_flat n.im_tags.(0) n.im_nums.(0) n.im_objs.(0)
+            then 2
+            else 1
+          | Some f ->
+            let j = f.fhead land f.fmask in
+            if Exec.truthy_flat f.ftags.(j) f.fnums.(j) f.fobjs.(j) then 2
+            else 1
+        in
+        input_ready n sel)
   | _ -> all_inputs_ready n
 
-(** Build the word list of a memory access. *)
-let access_words (kind : G.node_kind) (addr : int) (stride : int)
-    (value : token) : (int * token option) array =
-  match kind with
-  | G.Load _ -> [| (addr, None) |]
-  | G.Store _ -> [| (addr, Some value) |]
-  | G.Tload { shape; _ } ->
-    Array.init (T.shape_words shape) (fun i ->
-        let r = i / shape.cols and c = i mod shape.cols in
-        (addr + (r * stride) + c, None))
-  | G.Tstore { shape; _ } ->
-    let tile = match value with T.VTensor a -> a | _ -> Array.make 4 0.0 in
-    Array.init (T.shape_words shape) (fun i ->
-        let r = i / shape.cols and c = i mod shape.cols in
-        (addr + (r * stride) + c, Some (T.VFloat tile.(i))))
-  | _ -> invalid_arg "access_words"
+let zeros4 = Array.make 4 0.0
 
 (** Attempt to fire node [n] of [inst]; true if it fired.  A failed
     attempt has no side effects beyond (re)subscribing the node to the
-    event that can unblock it. *)
-let try_fire (sim : t) (_trt : task_rt) (inst : instance) (n : node_rt) : bool
-    =
+    event that can unblock it.  All operand staging goes through the
+    instance's flat scratch [i_sc]; nothing here allocates. *)
+let try_fire (sim : t) (ln : lane) (inst : instance) (n : node_rt) : bool =
   let now = sim.now in
   if n.nr_busy_until > now then begin
     (* Sleeping on the initiation interval: retry when it expires. *)
-    at sim n.nr_busy_until (Wfire (inst, n));
+    at sim ln n.nr_busy_until inst n 0;
     false
   end
   else
     match n.nr.kind with
     | G.LiveIn _ -> false (* driven by injection *)
-    | G.MergeLoop -> (
+    | G.MergeLoop ->
       (* Consume ctl, then the selected data input only. *)
-      match peek_in n 0 with
-      | None -> false
-      | Some ctl ->
-        let sel = if truthy ctl then 2 else 1 in
-        (match peek_in n sel with
-        | None -> false
-        | Some _ ->
-          if Queue.length n.nr_pipe >= 4 then false
-          else begin
-            ignore (pop_in sim n 0);
-            let v = pop_in sim n sel in
-            Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
-            n.nr_fired <- n.nr_fired + 1;
-            true
-          end))
+      let sc = inst.i_sc in
+      if not (stage_one n sc 0) then false
+      else begin
+        let sel =
+          if Exec.truthy_flat sc.Exec.stags.(0) sc.Exec.snums.(0)
+               sc.Exec.sobjs.(0)
+          then 2
+          else 1
+        in
+        if not (stage_one n sc sel) then false
+        else if n.np_tail - n.np_head >= 4 then false
+        else begin
+          pop_in sim n 0;
+          pop_in sim n sel;
+          pipe_push n (now + n.nr_cost.latency - 1) 0 sc.Exec.stags.(sel)
+            sc.Exec.snums.(sel) sc.Exec.sflts sel sc.Exec.sobjs.(sel);
+          n.nr_fired <- n.nr_fired + 1;
+          true
+        end
+      end
     | _ ->
       if not (all_inputs_ready n) then false
-      else if Queue.length n.nr_pipe >= 4 && not (G.is_memory_node n.nr) then
+      else if n.np_tail - n.np_head >= 4 && not (G.is_memory_node n.nr) then
         false
       else begin
         match n.nr.kind with
         | G.Compute op ->
-          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          let v = Exec.compute op args in
-          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          Exec.compute_sc sc op 0 (Array.length n.nr_in);
+          pipe_push n (now + n.nr_cost.latency - 1) 0 sc.Exec.rtag
+            sc.Exec.rnum sc.Exec.rflt 0 sc.Exec.robj;
           n.nr_busy_until <- now + n.nr_cost.ii;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.Fused ops ->
-          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          let v = Exec.fused ops args in
-          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          Exec.fused_sc sc ops (Array.length n.nr_in);
+          pipe_push n (now + n.nr_cost.latency - 1) 0 sc.Exec.rtag
+            sc.Exec.rnum sc.Exec.rflt 0 sc.Exec.robj;
           n.nr_busy_until <- now + n.nr_cost.ii;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.Merge k ->
-          let args = Array.init (Array.length n.nr_in) (fun i -> peek_in n i |> Option.get) in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          let v = Exec.merge k args in
-          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          Exec.merge_sc sc k (Array.length n.nr_in);
+          pipe_push n (now + n.nr_cost.latency - 1) 0 sc.Exec.rtag
+            sc.Exec.rnum sc.Exec.rflt 0 sc.Exec.robj;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.Steer ->
-          let p = peek_in n 0 |> Option.get in
-          let d = peek_in n 1 |> Option.get in
-          ignore (pop_in sim n 0);
-          ignore (pop_in sim n 1);
-          let port = if truthy p then 0 else 1 in
-          Queue.add (now + n.nr_cost.latency - 1, [ (port, d) ]) n.nr_pipe;
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          let port =
+            if Exec.truthy_flat sc.Exec.stags.(0) sc.Exec.snums.(0)
+                 sc.Exec.sobjs.(0)
+            then 0
+            else 1
+          in
+          pipe_push n (now + n.nr_cost.latency - 1) port sc.Exec.stags.(1)
+            sc.Exec.snums.(1) sc.Exec.sflts 1 sc.Exec.sobjs.(1);
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.FusedSteer ops ->
-          let p = peek_in n 0 |> Option.get in
-          let args =
-            List.init
-              (Array.length n.nr_in - 1)
-              (fun i -> peek_in n (i + 1) |> Option.get)
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          let p =
+            Exec.truthy_flat sc.Exec.stags.(0) sc.Exec.snums.(0)
+              sc.Exec.sobjs.(0)
           in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          let v = Exec.fused ops args in
-          let port = if truthy p then 0 else 1 in
-          Queue.add (now + n.nr_cost.latency - 1, [ (port, v) ]) n.nr_pipe;
+          (* The chain's operands are inputs 1..: shift them down. *)
+          let ar = Array.length n.nr_in in
+          for i = 0 to ar - 2 do
+            sc.Exec.stags.(i) <- sc.Exec.stags.(i + 1);
+            sc.Exec.snums.(i) <- sc.Exec.snums.(i + 1);
+            sc.Exec.sflts.(i) <- sc.Exec.sflts.(i + 1);
+            sc.Exec.sobjs.(i) <- sc.Exec.sobjs.(i + 1)
+          done;
+          Exec.fused_sc sc ops (ar - 1);
+          let port = if p then 0 else 1 in
+          pipe_push n (now + n.nr_cost.latency - 1) port sc.Exec.rtag
+            sc.Exec.rnum sc.Exec.rflt 0 sc.Exec.robj;
           n.nr_busy_until <- now + n.nr_cost.ii;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.Tcompute { top; _ } ->
-          let args = Array.to_list (Array.mapi (fun i _ -> peek_in n i |> Option.get) n.nr_in) in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          let v = Exec.tensor top args in
-          Queue.add (now + n.nr_cost.latency - 1, [ (0, v) ]) n.nr_pipe;
+          (* Tensor ops produce boxed tiles anyway; the slow path is
+             fine here. *)
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          pop_all sim n;
+          let v = Exec.tensor top (Exec.slot_values sc 0 (Array.length n.nr_in)) in
+          sc.Exec.rflt.(0) <- F.flt_of v;
+          pipe_push n (now + n.nr_cost.latency - 1) 0 (F.tag_of v)
+            (F.num_of v) sc.Exec.rflt 0 (F.obj_of v);
           n.nr_busy_until <- now + n.nr_cost.ii;
           n.nr_fired <- n.nr_fired + 1;
           true
-        | G.Load { space } | G.Store { space }
-        | G.Tload { space; _ } | G.Tstore { space; _ } ->
-          if Queue.length n.nr_mem >= sim.max_outstanding then false
+        | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ ->
+          if n.nm_tail - n.nm_head >= sim.max_outstanding then false
           else begin
-            let is_store_kind =
+            let is_store =
               match n.nr.kind with
               | G.Store _ | G.Tstore _ -> true
               | _ -> false
             in
-            let inv =
-              if is_store_kind then Some (attr_inv inst n)
-              else oldest_inv inst
+            (* Attribution: stores pin their invocation; loads only
+               advance the oldest-wave cursor (the original never read
+               a load's attribution). *)
+            let iv = if is_store then attr_inv inst n else dummy_inv in
+            if not is_store then ignore (oldest_wave inst);
+            let sc = inst.i_sc in
+            ignore (stage_inputs n sc);
+            let pred_ok =
+              Exec.truthy_flat sc.Exec.stags.(0) sc.Exec.snums.(0)
+                sc.Exec.sobjs.(0)
             in
-            let pred = peek_in n 0 |> Option.get in
-            let is_store = is_store_kind in
-            let addr = peek_in n 1 |> Option.get in
-            let stride, value =
-              match n.nr.kind with
-              | G.Load _ -> (T.VInt 0L, T.VPoison)
-              | G.Store _ -> (T.VInt 0L, peek_in n 2 |> Option.get)
-              | G.Tload _ -> (peek_in n 2 |> Option.get, T.VPoison)
-              | G.Tstore _ ->
-                (peek_in n 2 |> Option.get, peek_in n 3 |> Option.get)
-              | _ -> assert false
+            let addr_tag = sc.Exec.stags.(1) in
+            let addr =
+              Exec.to_int_flat sc.Exec.stags.(1) sc.Exec.snums.(1)
+                sc.Exec.sobjs.(1)
             in
-            Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-            if truthy pred && not (T.is_poison addr) then begin
-              let words =
-                access_words n.nr.kind (to_int addr) (to_int stride) value
-              in
+            pop_all sim n;
+            let s = n.nm_tail land (Array.length n.nm_live - 1) in
+            if pred_ok && addr_tag <> F.tpoison then begin
               let a =
-                { Memsys.a_is_store = is_store; a_words = words;
-                  a_loaded = []; a_pending = 0; a_done = false;
-                  a_issued = now; a_notify = ignore }
+                if n.na_n > 0 then begin
+                  n.na_n <- n.na_n - 1;
+                  n.na_pool.(n.na_n)
+                end
+                else begin
+                  let a = Memsys.make_access ~words:n.nr_words ~notify:ignore in
+                  (* The closure is created once per pooled access and
+                     lives as long as it does.  Orphaned accesses
+                     (write-buffered stores popped before their banks
+                     drained) return to the pool on completion instead
+                     of waking the node. *)
+                  a.Memsys.a_notify <-
+                    (fun () ->
+                      if a.Memsys.a_orphan then begin
+                        n.na_pool <- vpush n.na_pool n.na_n a;
+                        n.na_n <- n.na_n + 1
+                      end
+                      else wake_emit sim inst n);
+                  a
+                end
               in
-              (* Matured responses push the node's emission, not a
-                 next-cycle poll of every memory node. *)
-              a.Memsys.a_notify <- (fun () -> wake_emit sim inst n);
-              let rt = sim.ms.space_of space in
-              let srs = Memsys.split rt a in
-              a.a_pending <- List.length srs;
+              Memsys.reset_access a ~is_store ~now;
+              (match n.nr.kind with
+              | G.Load _ ->
+                a.Memsys.a_n <- 1;
+                a.Memsys.a_addrs.(0) <- addr
+              | G.Store _ ->
+                a.Memsys.a_n <- 1;
+                a.Memsys.a_addrs.(0) <- addr;
+                a.Memsys.a_tags.(0) <- sc.Exec.stags.(2);
+                a.Memsys.a_nums.(0) <- sc.Exec.snums.(2);
+                a.Memsys.a_flts.(0) <- sc.Exec.sflts.(2);
+                a.Memsys.a_objs.(0) <- sc.Exec.sobjs.(2)
+              | G.Tload { shape; _ } ->
+                let stride =
+                  Exec.to_int_flat sc.Exec.stags.(2) sc.Exec.snums.(2)
+                    sc.Exec.sobjs.(2)
+                in
+                let w = T.shape_words shape in
+                a.Memsys.a_n <- w;
+                for i = 0 to w - 1 do
+                  let r = i / shape.cols and c = i mod shape.cols in
+                  a.Memsys.a_addrs.(i) <- addr + (r * stride) + c
+                done
+              | G.Tstore { shape; _ } ->
+                let stride =
+                  Exec.to_int_flat sc.Exec.stags.(2) sc.Exec.snums.(2)
+                    sc.Exec.sobjs.(2)
+                in
+                let tile =
+                  match sc.Exec.sobjs.(3) with
+                  | T.VTensor t -> t
+                  | _ -> zeros4
+                in
+                let w = T.shape_words shape in
+                a.Memsys.a_n <- w;
+                for i = 0 to w - 1 do
+                  let r = i / shape.cols and c = i mod shape.cols in
+                  a.Memsys.a_addrs.(i) <- addr + (r * stride) + c;
+                  a.Memsys.a_tags.(i) <- F.tfloat;
+                  a.Memsys.a_nums.(i) <- 0;
+                  a.Memsys.a_flts.(i) <- tile.(i);
+                  a.Memsys.a_objs.(i) <- F.no_obj
+                done
+              | _ -> assert false);
+              let rt = sim.ms.Memsys.space_of n.nr_space in
+              Memsys.split rt a;
               let buffered = is_store && Memsys.store_buffered rt in
-              (match inv with
-              | Some iv when is_store && not buffered ->
-                iv.iv_stores <- iv.iv_stores + 1
-              | _ -> ());
-              List.iter (fun sr -> Queue.add (space, sr) inst.junction) srs;
+              if is_store && not buffered then
+                iv.iv_stores <- iv.iv_stores + 1;
+              for j = 0 to a.Memsys.a_nsrs - 1 do
+                junction_push inst n.nr_space a.Memsys.a_srs.(j)
+              done;
               (* write-back buffer: the store is architecturally done
                  the moment the buffer accepts it; it drains to the
                  bank in FIFO order behind this point *)
               if buffered then a.Memsys.a_done <- true;
-              Queue.add
-                { me_acc = Some a; me_gated = T.VPoison; me_inv = inv;
-                  me_is_store = is_store }
-                n.nr_mem
+              n.nm_live.(s) <- true;
+              n.nm_store.(s) <- is_store;
+              n.nm_hasiv.(s) <- is_store;
+              n.nm_acc.(s) <- a;
+              n.nm_inv.(s) <- iv
             end
-            else
-              Queue.add
-                { me_acc = None; me_gated = T.VPoison; me_inv = inv;
-                  me_is_store = is_store }
-                n.nr_mem;
+            else begin
+              (* Predicated off (or poison address): a gated entry
+                 flows through the window without touching memory. *)
+              n.nm_live.(s) <- false;
+              n.nm_store.(s) <- is_store;
+              n.nm_hasiv.(s) <- is_store;
+              n.nm_acc.(s) <- dummy_access;
+              n.nm_inv.(s) <- iv
+            end;
+            n.nm_tail <- n.nm_tail + 1;
             n.nr_busy_until <- now + n.nr_cost.ii;
             n.nr_fired <- n.nr_fired + 1;
             true
           end
         | G.CallChild tid | G.SpawnChild tid ->
-          let pred = peek_in n 0 |> Option.get in
+          let sc = inst.i_sc in
+          ignore (stage_inputs n sc);
+          let pred_ok =
+            Exec.truthy_flat sc.Exec.stags.(0) sc.Exec.snums.(0)
+              sc.Exec.sobjs.(0)
+          in
           let child = sim.tasks.(tid) in
           let is_spawn =
             match n.nr.kind with G.SpawnChild _ -> true | _ -> false
           in
-          let child_arity = List.length child.tk.arg_tys in
           let queue_cap = child.tk.queue_depth * max child.tk.tiles 1 in
-          if truthy pred && Queue.length child.tqueue >= queue_cap
-             && not child.tdynamic
+          if pred_ok && tq_len child >= queue_cap && not child.tdynamic
           then begin
             (* Park on the child's full queue; its dispatch pops us
                back onto the worklist. *)
             if not n.nr_wait_child then begin
               n.nr_wait_child <- true;
-              child.t_wait_child <- (inst, n) :: child.t_wait_child
+              child.tw_inst <- vpush child.tw_inst child.tw_n inst;
+              child.tw_node <- vpush child.tw_node child.tw_n n;
+              child.tw_n <- child.tw_n + 1
             end;
             false
           end
           else begin
             let wave = n.nr_fired in
-            let inv = attr_inv inst n in
-            let args =
-              Array.init child_arity (fun i ->
-                  if i = 0 then T.VBool true
-                  else
-                    match peek_in n i with
-                    | Some v -> v
-                    | None -> T.VPoison)
-            in
-            Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-            if truthy pred then begin
-              let reply =
+            let iv = attr_inv inst n in
+            let nin = Array.length n.nr_in in
+            pop_all sim n;
+            if pred_ok then begin
+              let eff = iv.iv_eff_ctx in
+              let rkind =
                 if is_spawn then begin
-                  inv.iv_eff_ctx.live_children <-
-                    inv.iv_eff_ctx.live_children + 1;
-                  Rspawn
-                    { r_inst = inst; r_node = n.nr.nid; r_wave = wave;
-                      r_ctx = inv.iv_eff_ctx }
+                  eff.live_children <- eff.live_children + 1;
+                  2
                 end
-                else Rcall { r_inst = inst; r_node = n.nr.nid; r_wave = wave }
+                else 1
               in
-              Queue.add
-                { m_args = args; m_ctx = inv.iv_eff_ctx; m_reply = reply }
-                child.tqueue
+              let s =
+                tq_push child ~ctx:eff ~rkind ~rinst:inst ~rnode:n
+                  ~rwave:wave ~rctx:eff
+              in
+              let base = s * max child.t_arity 1 in
+              for i = 0 to child.t_arity - 1 do
+                if i = 0 then begin
+                  child.tq_tags.(base) <- F.ttrue;
+                  child.tq_nums.(base) <- 0;
+                  child.tq_flts.(base) <- 0.0;
+                  child.tq_objs.(base) <- F.no_obj
+                end
+                else if i < nin then begin
+                  child.tq_tags.(base + i) <- sc.Exec.stags.(i);
+                  child.tq_nums.(base + i) <- sc.Exec.snums.(i);
+                  child.tq_flts.(base + i) <- sc.Exec.sflts.(i);
+                  child.tq_objs.(base + i) <- sc.Exec.sobjs.(i)
+                end
+                else begin
+                  child.tq_tags.(base + i) <- F.tpoison;
+                  child.tq_nums.(base + i) <- 0;
+                  child.tq_flts.(base + i) <- 0.0;
+                  child.tq_objs.(base + i) <- F.no_obj
+                end
+              done
             end
             else begin
               (* Predicated off: synthesize an immediate response. *)
-              let res =
-                if is_spawn then [| T.VPoison |]
-                else
-                  Array.of_list
-                    (List.mapi
-                       (fun i _ -> if i = 0 then T.VBool false else T.VPoison)
-                       child.tk.res_tys)
-              in
-              Hashtbl.replace n.nr_resp wave res
+              let s = resp_insert n wave in
+              let w = max n.rs_w 1 in
+              if is_spawn then begin
+                n.rs_tags.(s * w) <- F.tpoison;
+                n.rs_nums.(s * w) <- 0;
+                n.rs_flts.(s * w) <- 0.0;
+                n.rs_objs.(s * w) <- F.no_obj
+              end
+              else
+                for k = 0 to n.rs_w - 1 do
+                  n.rs_tags.((s * w) + k) <-
+                    (if k = 0 then F.tfalse else F.tpoison);
+                  n.rs_nums.((s * w) + k) <- 0;
+                  n.rs_flts.((s * w) + k) <- 0.0;
+                  n.rs_objs.((s * w) + k) <- F.no_obj
+                done
             end;
             n.nr_busy_until <- now + n.nr_cost.ii;
             n.nr_fired <- n.nr_fired + 1;
             true
           end
         | G.SyncWait ->
-          let inv = attr_inv inst n in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          Queue.add (inv, n.nr_fired) n.nr_sync;
+          let iv = attr_inv inst n in
+          pop_all sim n;
+          sync_push n iv n.nr_fired;
           (* Park on the join context: each child completion retries
              the sync's emission. *)
-          if
-            not
-              (List.exists (fun (_, m) -> m == n) inv.iv_eff_ctx.cx_waiters)
-          then
-            inv.iv_eff_ctx.cx_waiters <-
-              (inst, n) :: inv.iv_eff_ctx.cx_waiters;
+          cx_park iv.iv_eff_ctx inst n;
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.LiveOut idx ->
-          let v = peek_in n 0 |> Option.get in
-          let inv =
+          let sc = inst.i_sc in
+          ignore (stage_one n sc 0);
+          let iv =
             match inst.it.tkind with
             | G.Tfunc -> find_inv inst n.nr_fired
             | G.Tloop _ -> attr_inv inst n
           in
-          Array.iteri (fun i _ -> ignore (pop_in sim n i)) n.nr_in;
-          inv.iv_liveouts.(idx) <- Some v;
+          pop_all sim n;
+          iv.iv_lo_tags.(idx) <- sc.Exec.stags.(0);
+          iv.iv_lo_nums.(idx) <- sc.Exec.snums.(0);
+          iv.iv_lo_flts.(idx) <- sc.Exec.sflts.(0);
+          iv.iv_lo_objs.(idx) <- sc.Exec.sobjs.(0);
           n.nr_fired <- n.nr_fired + 1;
           true
         | G.LiveIn _ | G.MergeLoop -> assert false
@@ -1016,15 +2014,23 @@ let stall_cause (sim : t) (n : node_rt) : Tr.cause =
   else
     match n.nr.kind with
     | G.LiveIn _ -> Tr.Idle (* driven by injection, never stalled *)
-    | G.MergeLoop -> (
-      match peek_in n 0 with
-      | None -> Tr.Operand
-      | Some ctl ->
-        if peek_in n (if truthy ctl then 2 else 1) = None then Tr.Operand
-        else Tr.Backpressure)
+    | G.MergeLoop ->
+      if not (input_ready n 0) then Tr.Operand
+      else begin
+        let t, m, o =
+          match n.nr_in.(0) with
+          | None -> (n.im_tags.(0), n.im_nums.(0), n.im_objs.(0))
+          | Some f ->
+            let j = f.fhead land f.fmask in
+            (f.ftags.(j), f.fnums.(j), f.fobjs.(j))
+        in
+        if not (input_ready n (if Exec.truthy_flat t m o then 2 else 1))
+        then Tr.Operand
+        else Tr.Backpressure
+      end
     | _ ->
       if not (all_inputs_ready n) then Tr.Operand
-      else if Queue.length n.nr_pipe >= 4 && not (G.is_memory_node n.nr)
+      else if n.np_tail - n.np_head >= 4 && not (G.is_memory_node n.nr)
       then Tr.Backpressure
       else (
         match n.nr.kind with
@@ -1035,32 +2041,37 @@ let stall_cause (sim : t) (n : node_rt) : Tr.cause =
 (* The label a node enters after firing at [sim.now], effective from
    [sim.now + 1].  Any event that changes the node's state relabels it,
    so this only has to be right for the state as left by the firing. *)
-let post_fire_cause (sim : t) (n : node_rt) : Tr.cause =
+let post_fire_cause (sim : t) (n : node_rt) (ra : bool) : Tr.cause =
   match n.nr.kind with
   | G.SyncWait -> Tr.Sync
   | _ ->
-    if not (ready_again n) then Tr.Operand
+    if not ra then Tr.Operand
     else if n.nr_busy_until > sim.now + 1 then Tr.Structural
     else (
       match n.nr.kind with
       | G.Load _ | G.Store _ | G.Tload _ | G.Tstore _ ->
-        if Queue.length n.nr_mem >= sim.max_outstanding then Tr.Memory
+        if n.nm_tail - n.nm_head >= sim.max_outstanding then Tr.Memory
         else Tr.Busy
       | _ ->
-        if Queue.length n.nr_pipe >= 4 then Tr.Backpressure else Tr.Busy)
+        if n.np_tail - n.np_head >= 4 then Tr.Backpressure else Tr.Busy)
 
-(** Fire attempt plus the event subscriptions a success implies. *)
-let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
-    bool =
-  let fired = try_fire sim trt inst n in
+(** Fire attempt plus the event subscriptions a success implies.
+    Activity counters go to the lane; cross-lane state (the spawn
+    counter, parked-caller lists, child queues) is only ever touched
+    by the coordinator, because call/spawn/sync fires are deferred to
+    it in sharded mode. *)
+let fire_node (sim : t) (ln : lane) (trt : task_rt) (inst : instance)
+    (n : node_rt) : bool =
+  let fired = try_fire sim ln inst n in
   (* Interval accounting is always-on (it feeds the counter bank); the
      ring only sees events when a tracer is attached. *)
-  let np = inst.i_prof.nprofs.(n.nr_idx) in
+  let np = inst.i_prof.Tr.Prof.nprofs.(n.nr_idx) in
+  let ra = fired && ready_again n in
   if fired then begin
     ignore (Tr.Prof.transition np (Tr.cause_index Tr.Busy) sim.now);
     ignore
       (Tr.Prof.transition np
-         (Tr.cause_index (post_fire_cause sim n))
+         (Tr.cause_index (post_fire_cause sim n ra))
          (sim.now + 1));
     match sim.tr with
     | Some tr ->
@@ -1082,8 +2093,9 @@ let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
     | _ -> ()
   end;
   if fired then begin
-    sim.fires <- sim.fires + 1;
-    sim.last_activity <- sim.now;
+    ln.l_fires <- ln.l_fires + 1;
+    ln.l_active <- true;
+    trt.t_fired_now <- true;
     (* The firing may have produced something to emit this very cycle
        and may have changed the instance's completion conditions. *)
     wake_emit sim inst n;
@@ -1094,12 +2106,13 @@ let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
     | G.SpawnChild _ ->
       sim.ctrs.Ctr.spawns <- sim.ctrs.Ctr.spawns + 1;
       (* spawns_issued moved: parked syncs may now be able to pass *)
-      Array.iter (fun s -> wake_emit sim inst s) inst.isyncs
+      for k = 0 to Array.length inst.isyncs - 1 do
+        wake_emit sim inst inst.isyncs.(k)
+      done
     | _ -> ());
     (* Tokens already committed can enable the next firing without any
        further event: self-schedule past the initiation interval. *)
-    if ready_again n then
-      at sim (max n.nr_busy_until (sim.now + 1)) (Wfire (inst, n));
+    if ra then at sim ln (max n.nr_busy_until (sim.now + 1)) inst n 0;
     true
   end
   else false
@@ -1107,149 +2120,437 @@ let fire_node (sim : t) (trt : task_rt) (inst : instance) (n : node_rt) :
 (* ------------------------------------------------------------------ *)
 (* Emission (phase B)                                                   *)
 
-let ports_have_space (n : node_rt) (outs : (int * token) list) : bool =
-  List.for_all
-    (fun (p, _) -> List.for_all fifo_space n.nr_out.(p))
-    outs
+let rec port_space_from (fs : fifo array) (k : int) : bool =
+  k >= Array.length fs || (fifo_space fs.(k) && port_space_from fs (k + 1))
 
-let emit_ports (sim : t) (n : node_rt) (outs : (int * token) list) : unit =
-  List.iter
-    (fun (p, v) -> List.iter (fun f -> fifo_push sim f v) n.nr_out.(p))
-    outs
+let port_space (n : node_rt) (p : int) : bool =
+  port_space_from n.nr_out.(p) 0
 
-let try_emit (sim : t) (inst : instance) (n : node_rt) : bool =
-  let progressed = ref false in
-  (* Pipeline outputs (in order). *)
-  let rec drain_pipe () =
-    if not (Queue.is_empty n.nr_pipe) then begin
-      let ready, outs = Queue.peek n.nr_pipe in
-      if ready <= sim.now && ports_have_space n outs then begin
-        ignore (Queue.pop n.nr_pipe);
-        emit_ports sim n outs;
-        progressed := true;
-        drain_pipe ()
-      end
+let emit_port (ln : lane) (n : node_rt) (p : int) (tag : int) (num : int)
+    (flts : float array) (fi : int) (obj : token) : unit =
+  let fs = n.nr_out.(p) in
+  for k = 0 to Array.length fs - 1 do
+    fifo_push ln fs.(k) tag num flts fi obj
+  done
+
+(* The emission drains below are top-level and tail-recursive, each
+   threading its progress flag as an argument: defined locally to
+   [try_emit] they would allocate a closure per node per cycle. *)
+
+(* Pipeline outputs (in order). *)
+let rec drain_pipe (sim : t) (ln : lane) (n : node_rt) (progressed : bool)
+    : bool =
+  if n.np_tail - n.np_head > 0 then begin
+    let s = n.np_head land 3 in
+    if n.np_ready.(s) <= sim.now && port_space n n.np_port.(s) then begin
+      n.np_head <- n.np_head + 1;
+      emit_port ln n n.np_port.(s) n.np_tags.(s) n.np_nums.(s) n.np_flts
+        s n.np_objs.(s);
+      drain_pipe sim ln n true
     end
-  in
-  drain_pipe ();
-  (* Memory responses (FIFO per node). *)
-  let rec drain_mem () =
-    if not (Queue.is_empty n.nr_mem) then begin
-      let e = Queue.peek n.nr_mem in
-      let ready =
-        match e.me_acc with None -> true | Some a -> a.a_done
+    else progressed
+  end
+  else progressed
+
+(* Memory responses (FIFO per node).  [sc] is the owning instance's
+   flat scratch — tile assembly parks its float there so nothing is
+   boxed on the way to the ports. *)
+let rec drain_mem (ln : lane) (sc : Exec.sc) (n : node_rt)
+    (progressed : bool) : bool =
+  if n.nm_tail - n.nm_head > 0 then begin
+    let mm = Array.length n.nm_live - 1 in
+    let s = n.nm_head land mm in
+    let live = n.nm_live.(s) in
+    if (not live) || n.nm_acc.(s).Memsys.a_done then begin
+      let is_load =
+        match n.nr.kind with
+        | G.Load _ | G.Tload _ -> true
+        | _ -> false
       in
-      if ready then begin
-        let outs =
-          match n.nr.kind, e.me_acc with
-          | (G.Load _ | G.Tload _), None ->
-            [ (0, e.me_gated); (1, T.VBool false) ]
-          | G.Load _, Some a -> [ (0, Memsys.scalar_value a); (1, T.VBool true) ]
-          | G.Tload _, Some a -> [ (0, Memsys.tile_value a); (1, T.VBool true) ]
-          | (G.Store _ | G.Tstore _), None -> [ (0, T.VBool false) ]
-          | (G.Store _ | G.Tstore _), Some _ -> [ (0, T.VBool true) ]
-          | _ -> assert false
-        in
-        if ports_have_space n outs then begin
-          ignore (Queue.pop n.nr_mem);
-          (match e.me_inv with
-          | Some iv when e.me_is_store && e.me_acc <> None ->
-            if iv.iv_stores > 0 then iv.iv_stores <- iv.iv_stores - 1
-          | _ -> ());
-          emit_ports sim n outs;
-          progressed := true;
-          drain_mem ()
-        end
-      end
-    end
-  in
-  drain_mem ();
-  (* Call/spawn responses in wave order. *)
-  let rec drain_resp () =
-    match Hashtbl.find_opt n.nr_resp n.nr_next_resp with
-    | Some res ->
-      let outs =
-        List.filteri
-          (fun p _ -> p < Array.length n.nr_out)
-          (Array.to_list (Array.mapi (fun p v -> (p, v)) res))
+      let space =
+        if is_load then port_space n 0 && port_space n 1
+        else port_space n 0
       in
-      if ports_have_space n outs then begin
-        Hashtbl.remove n.nr_resp n.nr_next_resp;
-        n.nr_next_resp <- n.nr_next_resp + 1;
-        emit_ports sim n outs;
-        progressed := true;
-        drain_resp ()
+      if space then begin
+        let a = n.nm_acc.(s) in
+        n.nm_head <- n.nm_head + 1;
+        if n.nm_store.(s) && live then begin
+          let iv = n.nm_inv.(s) in
+          if iv.iv_stores > 0 then iv.iv_stores <- iv.iv_stores - 1
+        end;
+        (match n.nr.kind, live with
+        | (G.Load _ | G.Tload _), false ->
+          (* gated: poison data, ack false *)
+          emit_port ln n 0 F.tpoison 0 f0 0 F.no_obj;
+          emit_port ln n 1 F.tfalse 0 f0 0 F.no_obj
+        | G.Load _, true ->
+          emit_port ln n 0 a.Memsys.a_tags.(0) a.Memsys.a_nums.(0)
+            a.Memsys.a_flts 0 a.Memsys.a_objs.(0);
+          emit_port ln n 1 F.ttrue 0 f0 0 F.no_obj
+        | G.Tload _, true ->
+          let v = Memsys.tile_value a in
+          sc.Exec.rflt.(0) <- F.flt_of v;
+          emit_port ln n 0 (F.tag_of v) (F.num_of v) sc.Exec.rflt 0
+            (F.obj_of v);
+          emit_port ln n 1 F.ttrue 0 f0 0 F.no_obj
+        | (G.Store _ | G.Tstore _), false ->
+          emit_port ln n 0 F.tfalse 0 f0 0 F.no_obj
+        | (G.Store _ | G.Tstore _), true ->
+          emit_port ln n 0 F.ttrue 0 f0 0 F.no_obj
+        | _ -> assert false);
+        (* Recycle the access: banks still draining a write-buffered
+           store keep it as an orphan and return it on completion. *)
+        if live then begin
+          if a.Memsys.a_pending <= 0 then begin
+            n.na_pool <- vpush n.na_pool n.na_n a;
+            n.na_n <- n.na_n + 1
+          end
+          else a.Memsys.a_orphan <- true
+        end;
+        drain_mem ln sc n true
       end
-    | None -> ()
-  in
-  drain_resp ();
-  (* Sync completions, in order.  A sync of wave [w] may only
-     complete once every spawn of the task has issued wave [w]'s
-     spawns — otherwise it could observe a transiently-zero child
-     count before the children were even created. *)
-  let spawns_issued wave =
-    Array.for_all
-      (fun (s : node_rt) ->
-        match s.nr.kind with
-        | G.SpawnChild _ -> s.nr_fired > wave
-        | _ -> true)
-      inst.inodes
-  in
-  let rec drain_sync () =
-    if not (Queue.is_empty n.nr_sync) then begin
-      let inv, wave = Queue.peek n.nr_sync in
-      if spawns_issued wave
-         && inv.iv_eff_ctx.live_children = 0
-         && ports_have_space n [ (0, T.VBool true) ]
-      then begin
-        ignore (Queue.pop n.nr_sync);
-        sim.ctrs.Ctr.syncs <- sim.ctrs.Ctr.syncs + 1;
-        emit_ports sim n [ (0, T.VBool true) ];
-        progressed := true;
-        drain_sync ()
-      end
+      else progressed
     end
-  in
-  drain_sync ();
+    else progressed
+  end
+  else progressed
+
+let rec ports_free (n : node_rt) (p : int) (k : int) : bool =
+  p >= k || (port_space n p && ports_free n (p + 1) k)
+
+(* Call/spawn responses in wave order. *)
+let rec drain_resp (ln : lane) (n : node_rt) (progressed : bool) : bool =
+  if resp_ready n n.nr_next_resp then begin
+    let cap = Array.length n.rs_wave in
+    let s = n.nr_next_resp land (cap - 1) in
+    let w = max n.rs_w 1 in
+    let k = min n.rs_w (Array.length n.nr_out) in
+    if ports_free n 0 k then begin
+      n.rs_wave.(s) <- -1;
+      n.nr_next_resp <- n.nr_next_resp + 1;
+      for p = 0 to k - 1 do
+        emit_port ln n p
+          n.rs_tags.((s * w) + p)
+          n.rs_nums.((s * w) + p)
+          n.rs_flts
+          ((s * w) + p)
+          n.rs_objs.((s * w) + p)
+      done;
+      drain_resp ln n true
+    end
+    else progressed
+  end
+  else progressed
+
+(* A sync of wave [w] may only complete once every spawn of the task
+   has issued wave [w]'s spawns — otherwise it could observe a
+   transiently-zero child count before the children were even
+   created. *)
+let rec spawns_issued_from (inst : instance) (wave : int) (i : int) : bool
+    =
+  i >= Array.length inst.inodes
+  || ((match inst.inodes.(i).nr.kind with
+      | G.SpawnChild _ -> inst.inodes.(i).nr_fired > wave
+      | _ -> true)
+     && spawns_issued_from inst wave (i + 1))
+
+(* Sync completions, in order. *)
+let rec drain_sync (ln : lane) (inst : instance) (n : node_rt)
+    (progressed : bool) : bool =
+  if n.ns_tail - n.ns_head > 0 then begin
+    let s = n.ns_head land (Array.length n.ns_wave - 1) in
+    let iv = n.ns_inv.(s) in
+    let wave = n.ns_wave.(s) in
+    (* A stale entry (its invocation completed and was reused while
+       the emission was backpressured) behaves like the completed
+       invocation it referenced: zero live children. *)
+    let children_ok =
+      iv.iv_gen <> n.ns_gen.(s) || iv.iv_eff_ctx.live_children = 0
+    in
+    if spawns_issued_from inst wave 0 && children_ok && port_space n 0
+    then begin
+      n.ns_head <- n.ns_head + 1;
+      ln.l_syncs <- ln.l_syncs + 1;
+      emit_port ln n 0 F.ttrue 0 f0 0 F.no_obj;
+      drain_sync ln inst n true
+    end
+    else progressed
+  end
+  else progressed
+
+let try_emit (sim : t) (ln : lane) (inst : instance) (n : node_rt) : bool =
+  let progressed = drain_pipe sim ln n false in
+  let progressed = drain_mem ln inst.i_sc n progressed in
+  let progressed = drain_resp ln n progressed in
+  let progressed = drain_sync ln inst n progressed in
   (* Whatever is still pipelined wakes the node on its due cycle. *)
-  (match Queue.peek_opt n.nr_pipe with
-  | Some (ready, _) when ready > sim.now -> at sim ready (Wemit (inst, n))
-  | _ -> ());
-  !progressed
+  (if n.np_tail - n.np_head > 0 then
+     let ready = n.np_ready.(n.np_head land 3) in
+     if ready > sim.now then at sim ln ready inst n 1);
+  progressed
 
 (* ------------------------------------------------------------------ *)
 (* The main loop                                                        *)
 
-(** Pull an instance's woken nodes in graph order, clearing flags. *)
-let take_fire_nodes (inst : instance) : node_rt list =
-  let ns = inst.i_fire_nodes in
-  inst.i_fire_nodes <- [];
-  List.iter (fun n -> n.nr_qfire <- false) ns;
-  List.sort cmp_node ns
+(* Pull a worklist by swapping its double buffer: the taken prefix
+   lives in [*_v2], new wakes land in the other buffer for the next
+   cycle.  Sorting restores the dense sweep's deterministic order. *)
+let take_fire_nodes (inst : instance) : int =
+  let n = inst.if_n in
+  let v = inst.if_v in
+  inst.if_v <- inst.if_v2;
+  inst.if_v2 <- v;
+  inst.if_n <- 0;
+  for i = 0 to n - 1 do
+    v.(i).nr_qfire <- false
+  done;
+  sort_nodes v n;
+  n
 
-let take_emit_nodes (inst : instance) : node_rt list =
-  let ns = inst.i_emit_nodes in
-  inst.i_emit_nodes <- [];
-  List.iter (fun n -> n.nr_qemit <- false) ns;
-  List.sort cmp_node ns
+let take_emit_nodes (inst : instance) : int =
+  let n = inst.ie_n in
+  let v = inst.ie_v in
+  inst.ie_v <- inst.ie_v2;
+  inst.ie_v2 <- v;
+  inst.ie_n <- 0;
+  for i = 0 to n - 1 do
+    v.(i).nr_qemit <- false
+  done;
+  sort_nodes v n;
+  n
+
+let take_tf (trt : task_rt) : int =
+  let n = trt.tf_n in
+  let v = trt.tf_v in
+  trt.tf_v <- trt.tf_v2;
+  trt.tf_v2 <- v;
+  trt.tf_n <- 0;
+  sort_insts v n;
+  n
+
+let take_te (trt : task_rt) : int =
+  let n = trt.te_n in
+  let v = trt.te_v in
+  trt.te_v <- trt.te_v2;
+  trt.te_v2 <- v;
+  trt.te_n <- 0;
+  sort_insts v n;
+  n
+
+let take_tj (trt : task_rt) : int =
+  let n = trt.tj_n in
+  let v = trt.tj_v in
+  trt.tj_v <- trt.tj_v2;
+  trt.tj_v2 <- v;
+  trt.tj_n <- 0;
+  sort_insts v n;
+  n
+
+(* Phase-3 body, sequential flavor: everything fires inline, in the
+   dense sweep's order.  Also used by the sharded coordinator for
+   dynamic tasks (their slot arbitration is inherently serial). *)
+let rec fire_nodes_any (sim : t) (ln : lane) (trt : task_rt)
+    (inst : instance) (j : int) (nn : int) (any : bool) : bool =
+  if j >= nn then any
+  else
+    let f = fire_node sim ln trt inst inst.if_v2.(j) in
+    fire_nodes_any sim ln trt inst (j + 1) nn (any || f)
+
+(* Dynamic-task flavor: at most [tiles] contexts issue datapath work
+   per cycle, with the remaining slot count threaded through the
+   recursion (a [ref] here would allocate every cycle). *)
+let rec fire_dyn (sim : t) (ln : lane) (trt : task_rt) (k : int)
+    (ni : int) (slots : int) : unit =
+  if k < ni then begin
+    let inst = trt.tf_v2.(k) in
+    inst.i_qfire <- false;
+    if not inst.live then begin
+      ignore (take_fire_nodes inst);
+      fire_dyn sim ln trt (k + 1) ni slots
+    end
+    else if slots = 0 then begin
+      (* No tile this cycle: stay woken for the next one. *)
+      inst.i_qfire <- true;
+      trt.tf_v <- vpush trt.tf_v trt.tf_n inst;
+      trt.tf_n <- trt.tf_n + 1;
+      fire_dyn sim ln trt (k + 1) ni 0
+    end
+    else begin
+      let nn = take_fire_nodes inst in
+      ln.l_woken <- ln.l_woken + nn;
+      let any = fire_nodes_any sim ln trt inst 0 nn false in
+      fire_dyn sim ln trt (k + 1) ni (if any then slots - 1 else slots)
+    end
+  end
+
+let fire_task_seq (sim : t) (ln : lane) (trt : task_rt) : unit =
+  let ni = take_tf trt in
+  if trt.tdynamic then fire_dyn sim ln trt 0 ni trt.tk.tiles
+  else
+    for k = 0 to ni - 1 do
+      let inst = trt.tf_v2.(k) in
+      inst.i_qfire <- false;
+      if inst.live then begin
+        let nn = take_fire_nodes inst in
+        ln.l_woken <- ln.l_woken + nn;
+        for j = 0 to nn - 1 do
+          ignore (fire_node sim ln trt inst inst.if_v2.(j))
+        done
+      end
+      else ignore (take_fire_nodes inst)
+    done
+
+(* Phase-3 body, lane flavor (static tasks only): datapath nodes fire
+   in place; call/spawn/sync attempts — the only fires that touch
+   other tasks' queues and contexts — are deferred verbatim for the
+   coordinator to replay in task-id order. *)
+let fire_task_lane (sim : t) (ln : lane) (trt : task_rt) : unit =
+  let ni = take_tf trt in
+  for k = 0 to ni - 1 do
+    let inst = trt.tf_v2.(k) in
+    inst.i_qfire <- false;
+    if inst.live then begin
+      let nn = take_fire_nodes inst in
+      ln.l_woken <- ln.l_woken + nn;
+      for j = 0 to nn - 1 do
+        let n = inst.if_v2.(j) in
+        match n.nr.kind with
+        | G.CallChild _ | G.SpawnChild _ | G.SyncWait ->
+          trt.td_inst <- vpush trt.td_inst trt.td_n inst;
+          trt.td_node <- vpush trt.td_node trt.td_n n;
+          trt.td_n <- trt.td_n + 1
+        | _ -> ignore (fire_node sim ln trt inst n)
+      done
+    end
+    else ignore (take_fire_nodes inst)
+  done
+
+let replay_deferred (sim : t) (trt : task_rt) : unit =
+  let ln0 = sim.lanes.(0) in
+  for i = 0 to trt.td_n - 1 do
+    ignore (fire_node sim ln0 trt trt.td_inst.(i) trt.td_node.(i))
+  done;
+  trt.td_n <- 0
+
+(* Phase-4 body: emission is instance-local, so lanes run it for all
+   their tasks (including dynamic ones). *)
+let emit_task (sim : t) (ln : lane) (trt : task_rt) : unit =
+  let ni = take_te trt in
+  for k = 0 to ni - 1 do
+    let inst = trt.te_v2.(k) in
+    inst.i_qemit <- false;
+    let nn = take_emit_nodes inst in
+    if inst.live then
+      for j = 0 to nn - 1 do
+        let n = inst.ie_v2.(j) in
+        if try_emit sim ln inst n then begin
+          ln.l_active <- true;
+          (* Freed pipeline/memory slots may unblock the node's next
+             firing; drained state feeds the completion check below. *)
+          wake_fire sim inst n;
+          wake_complete sim inst
+        end
+      done
+  done
+
+(* Phase 5: a child completing here can enable its parent's completion
+   in the same cycle when the parent sits later in the sweep order —
+   chase those wakes exactly as far as the dense sweep would have. *)
+(* Partition tc_v[0, n) by i_ord > cursor: ready entries land in
+   tc2[0..], later entries compact in place at tc_v[i - ready] (always
+   at or before their origin, so in-place is safe).  Returns the ready
+   count; the later count is n - ready. *)
+let rec dc_partition (trt : task_rt) (cursor : int) (i : int) (n : int)
+    (ready : int) : int =
+  if i >= n then ready
+  else begin
+    let inst = trt.tc_v.(i) in
+    if inst.i_ord > cursor then begin
+      trt.tc2.(ready) <- inst;
+      dc_partition trt cursor (i + 1) n (ready + 1)
+    end
+    else begin
+      trt.tc_v.(i - ready) <- inst;
+      dc_partition trt cursor (i + 1) n ready
+    end
+  end
+
+(* Run completions over the sorted ready prefix; returns the last
+   i_ord visited (the new cursor). *)
+let rec dc_run (sim : t) (trt : task_rt) (i : int) (nready : int)
+    (cursor : int) : int =
+  if i >= nready then cursor
+  else begin
+    let inst = trt.tc2.(i) in
+    inst.i_qcomplete <- false;
+    if inst.live then try_complete sim trt inst;
+    dc_run sim trt (i + 1) nready inst.i_ord
+  end
+
+let rec drain_complete (sim : t) (trt : task_rt) (cursor : int) : unit =
+  let n = trt.tc_n in
+  if n > 0 then begin
+    if Array.length trt.tc2 < n then
+      trt.tc2 <- Array.make (max 8 (n * 2)) dummy_inst;
+    let nready = dc_partition trt cursor 0 n 0 in
+    if nready > 0 then begin
+      trt.tc_n <- n - nready;
+      sort_insts trt.tc2 nready;
+      let c = dc_run sim trt 0 nready cursor in
+      drain_complete sim trt c
+    end
+  end
+
+let merge_lanes (sim : t) : unit =
+  for l = 0 to sim.njobs - 1 do
+    let ln = sim.lanes.(l) in
+    sim.fires <- sim.fires + ln.l_fires;
+    ln.l_fires <- 0;
+    sim.woken <- sim.woken + ln.l_woken;
+    ln.l_woken <- 0;
+    sim.ctrs.Ctr.syncs <- sim.ctrs.Ctr.syncs + ln.l_syncs;
+    ln.l_syncs <- 0;
+    if ln.l_active then begin
+      sim.last_activity <- sim.now;
+      ln.l_active <- false
+    end
+  done
+
+(* Round-robin dispatch across a static task's tiles: a pipelined
+   instance would otherwise accept every invocation and starve its
+   replicas.  Returns whether anything was popped off the queue. *)
+let rec rr_dispatch (sim : t) (trt : task_rt) (k : int) (n : int)
+    (popped : bool) : bool =
+  if k >= n then popped
+  else begin
+    let inst = trt.tinst.((trt.trr + k) mod n) in
+    if tq_len trt > 0 && can_accept inst then begin
+      let s = trt.tq_head land (Array.length trt.tq_rkind - 1) in
+      trt.tq_head <- trt.tq_head + 1;
+      inject sim trt inst s;
+      trt.trr <- (trt.trr + k + 1) mod n;
+      rr_dispatch sim trt (k + 1) n true
+    end
+    else rr_dispatch sim trt (k + 1) n popped
+  end
 
 let step (sim : t) : unit =
   let now = sim.now in
+  let ntasks = Array.length sim.tasks in
   (* 0. always-on occupancy integrals (exact time-average and
      high-water depths, O(tasks + structures) per cycle, no
      allocation); ring samples additionally when tracing *)
-  Array.iter
-    (fun trt ->
-      Ctr.occ_add sim.ctrs (Ctr.Ktask trt.tk.tid) (Queue.length trt.tqueue))
-    sim.tasks;
-  Memsys.iter_occupancy sim.ms (fun sid depth ->
-      Ctr.occ_add sim.ctrs (Ctr.Kstruct sid) depth);
+  for i = 0 to ntasks - 1 do
+    Ctr.occ_tick sim.otasks.(i) (tq_len sim.tasks.(i))
+  done;
+  for i = 0 to Array.length sim.ostructs - 1 do
+    Ctr.occ_tick sim.ostructs.(i) (Memsys.struct_depth sim.ms i)
+  done;
   (match sim.tr with
   | Some tr when now mod tr.Tr.sample_every = 0 ->
     Array.iter
       (fun trt ->
-        Tr.occ_sample tr ~c:now (Tr.Ktask trt.tk.tid)
-          (Queue.length trt.tqueue))
+        Tr.occ_sample tr ~c:now (Tr.Ktask trt.tk.tid) (tq_len trt))
       sim.tasks;
     List.iter
       (fun (sid, depth) -> Tr.occ_sample tr ~c:now (Tr.Kstruct sid) depth)
@@ -1259,201 +2560,135 @@ let step (sim : t) : unit =
   (* 1. memory structures (completions notify waiting nodes) *)
   Memsys.step sim.ms ~now;
   (* 2. junction arbitration, only where sub-requests are queued *)
-  Array.iter
-    (fun trt ->
-      match trt.t_junction with
-      | [] -> ()
-      | insts ->
-        trt.t_junction <- [];
-        let insts = List.sort cmp_inst insts in
-        let w = sim.junction_width.(trt.tk.tid) in
-        List.iter
-          (fun inst ->
-            inst.i_qjunction <- false;
-            if inst.live then begin
-              for _ = 1 to w do
-                if not (Queue.is_empty inst.junction) then begin
-                  let space, sr = Queue.pop inst.junction in
-                  let rt = sim.ms.space_of space in
-                  Memsys.enqueue sim.ms rt sr;
-                  sim.last_activity <- now;
-                  wake_complete sim inst
-                end
-              done;
-              if not (Queue.is_empty inst.junction) then
-                wake_junction sim inst
-            end)
-          insts)
-    sim.tasks;
+  for ti = 0 to ntasks - 1 do
+    let trt = sim.tasks.(ti) in
+    if trt.tj_n > 0 then begin
+      let ni = take_tj trt in
+      let w = sim.junction_width.(trt.tk.tid) in
+      for k = 0 to ni - 1 do
+        let inst = trt.tj_v2.(k) in
+        inst.i_qjunction <- false;
+        if inst.live then begin
+          for _ = 1 to w do
+            if inst.ij_tail - inst.ij_head > 0 then begin
+              let s = inst.ij_head land (Array.length inst.ij_space - 1) in
+              let space = inst.ij_space.(s) in
+              let sr = inst.ij_sr.(s) in
+              inst.ij_head <- inst.ij_head + 1;
+              let rt = sim.ms.Memsys.space_of space in
+              Memsys.enqueue sim.ms rt sr;
+              sim.last_activity <- now;
+              wake_complete sim inst
+            end
+          done;
+          if inst.ij_tail - inst.ij_head > 0 then wake_junction sim inst
+        end
+      done
+    end
+  done;
   (* 3. fire phase over woken nodes *)
-  Array.iter
-    (fun trt ->
-      match trt.t_fire with
-      | [] -> ()
-      | insts ->
-        trt.t_fire <- [];
-        let insts = List.sort cmp_inst insts in
-        let task_fired = ref false in
-        if trt.tdynamic then begin
-          (* At most [tiles] contexts issue datapath work per cycle. *)
-          let slots = ref trt.tk.tiles in
-          List.iter
-            (fun inst ->
-              inst.i_qfire <- false;
-              if not inst.live then begin
-                List.iter (fun n -> n.nr_qfire <- false) inst.i_fire_nodes;
-                inst.i_fire_nodes <- []
-              end
-              else if !slots = 0 then begin
-                (* No tile this cycle: stay woken for the next one. *)
-                inst.i_qfire <- true;
-                trt.t_fire <- inst :: trt.t_fire
-              end
-              else begin
-                let ns = take_fire_nodes inst in
-                sim.woken <- sim.woken + List.length ns;
-                let fired_any = ref false in
-                List.iter
-                  (fun n ->
-                    if fire_node sim trt inst n then fired_any := true)
-                  ns;
-                if !fired_any then begin
-                  decr slots;
-                  task_fired := true
-                end
-              end)
-            insts
-        end
-        else
-          List.iter
-            (fun inst ->
-              inst.i_qfire <- false;
-              if inst.live then begin
-                let ns = take_fire_nodes inst in
-                sim.woken <- sim.woken + List.length ns;
-                List.iter
-                  (fun n ->
-                    if fire_node sim trt inst n then task_fired := true)
-                  ns
-              end
-              else begin
-                List.iter (fun n -> n.nr_qfire <- false) inst.i_fire_nodes;
-                inst.i_fire_nodes <- []
-              end)
-            insts;
-        if !task_fired then trt.tbusy <- trt.tbusy + 1)
-    sim.tasks;
+  (match sim.dpool with
+  | Some p when sim.njobs > 1 ->
+    (* 3a. lanes fire their static tasks' datapath, deferring
+       call/spawn/sync; 3b. the coordinator replays the deferred
+       fires and runs dynamic tasks, in task-id order. *)
+    Dpool.run p (fun l ->
+        let ln = sim.lanes.(l) in
+        let tid = ref l in
+        while !tid < ntasks do
+          let trt = sim.tasks.(!tid) in
+          if (not trt.tdynamic) && trt.tf_n > 0 then fire_task_lane sim ln trt;
+          tid := !tid + sim.njobs
+        done);
+    for tid = 0 to ntasks - 1 do
+      let trt = sim.tasks.(tid) in
+      if trt.tdynamic then begin
+        if trt.tf_n > 0 then fire_task_seq sim sim.lanes.(0) trt
+      end
+      else if trt.td_n > 0 then replay_deferred sim trt
+    done
+  | _ ->
+    for ti = 0 to ntasks - 1 do
+      let trt = sim.tasks.(ti) in
+      if trt.tf_n > 0 then fire_task_seq sim sim.lanes.(0) trt
+    done);
+  (* utilization sweep: a task was busy if anything of it fired *)
+  for ti = 0 to ntasks - 1 do
+    let trt = sim.tasks.(ti) in
+    if trt.t_fired_now then begin
+      trt.tbusy <- trt.tbusy + 1;
+      trt.t_fired_now <- false
+    end
+  done;
   (* 4. emission phase over woken nodes *)
-  Array.iter
-    (fun trt ->
-      match trt.t_emit with
-      | [] -> ()
-      | insts ->
-        trt.t_emit <- [];
-        let insts = List.sort cmp_inst insts in
-        List.iter
-          (fun inst ->
-            inst.i_qemit <- false;
-            let ns = take_emit_nodes inst in
-            if inst.live then
-              List.iter
-                (fun n ->
-                  if try_emit sim inst n then begin
-                    sim.last_activity <- now;
-                    (* Freed pipeline/memory slots may unblock the
-                       node's next firing; drained state feeds the
-                       completion check below. *)
-                    wake_fire sim inst n;
-                    wake_complete sim inst
-                  end)
-                ns)
-          insts)
-    sim.tasks;
-  (* 5. completions, only on instances whose state moved.  A child
-     completing here can enable its parent's completion in the same
-     cycle when the parent sits later in the sweep order — chase those
-     wakes exactly as far as the dense sweep would have. *)
-  Array.iter
-    (fun trt ->
-      if trt.t_complete <> [] then begin
-        let rec drain cursor =
-          let ready, later =
-            List.partition (fun i -> i.i_ord > cursor) trt.t_complete
-          in
-          if ready <> [] then begin
-            trt.t_complete <- later;
-            let ready = List.sort cmp_inst ready in
-            let c = ref cursor in
-            List.iter
-              (fun inst ->
-                inst.i_qcomplete <- false;
-                c := inst.i_ord;
-                if inst.live then try_complete sim trt inst)
-              ready;
-            drain !c
-          end
-        in
-        drain min_int
-      end)
-    sim.tasks;
+  (match sim.dpool with
+  | Some p when sim.njobs > 1 ->
+    Dpool.run p (fun l ->
+        let ln = sim.lanes.(l) in
+        let tid = ref l in
+        while !tid < ntasks do
+          let trt = sim.tasks.(!tid) in
+          if trt.te_n > 0 then emit_task sim ln trt;
+          tid := !tid + sim.njobs
+        done)
+  | _ ->
+    for ti = 0 to ntasks - 1 do
+      let trt = sim.tasks.(ti) in
+      if trt.te_n > 0 then emit_task sim sim.lanes.(0) trt
+    done);
+  merge_lanes sim;
+  (* 5. completions, only on instances whose state moved *)
+  for ti = 0 to ntasks - 1 do
+    let trt = sim.tasks.(ti) in
+    if trt.tc_n > 0 then drain_complete sim trt min_int
+  done;
   (* 6. dispatch *)
-  Array.iter
-    (fun trt ->
-      if not (Queue.is_empty trt.tqueue) then begin
-        if trt.tdynamic then
-          (* every queued message becomes a fresh context *)
-          while not (Queue.is_empty trt.tqueue) do
-            let m = Queue.pop trt.tqueue in
-            let inst = new_instance sim trt.tk ~dynamic:true in
-            inst.i_ord <- trt.t_next_ord;
-            trt.t_next_ord <- trt.t_next_ord - 1;
-            (* LIFO: newest contexts first, so recursion runs depth-first *)
-            trt.tinstances <- inst :: trt.tinstances;
-            inject sim trt inst m
+  for ti = 0 to ntasks - 1 do
+    let trt = sim.tasks.(ti) in
+    if tq_len trt > 0 then
+      if trt.tdynamic then
+        (* every queued message becomes a fresh context *)
+        while tq_len trt > 0 do
+          let s = trt.tq_head land (Array.length trt.tq_rkind - 1) in
+          trt.tq_head <- trt.tq_head + 1;
+          let inst = acquire_instance sim trt in
+          inst.i_ord <- trt.t_next_ord;
+          (* newest contexts first, so recursion runs depth-first *)
+          trt.t_next_ord <- trt.t_next_ord - 1;
+          inject sim trt inst s
+        done
+      else begin
+        let popped = rr_dispatch sim trt 0 trt.tinst_n false in
+        (* Queue space freed: parked callers can try again. *)
+        if popped && trt.tw_n > 0 then begin
+          let nw = trt.tw_n in
+          trt.tw_n <- 0;
+          for i = 0 to nw - 1 do
+            let wn = trt.tw_node.(i) in
+            wn.nr_wait_child <- false;
+            wake_fire sim trt.tw_inst.(i) wn
           done
-        else begin
-          (* Round-robin dispatch across tiles: a pipelined instance
-             would otherwise accept every invocation and starve its
-             replicas. *)
-          let insts = Array.of_list trt.tinstances in
-          let n = Array.length insts in
-          let popped = ref false in
-          if n > 0 then
-            for k = 0 to n - 1 do
-              let inst = insts.((trt.trr + k) mod n) in
-              if (not (Queue.is_empty trt.tqueue)) && can_accept inst then begin
-                inject sim trt inst (Queue.pop trt.tqueue);
-                popped := true;
-                trt.trr <- (trt.trr + k + 1) mod n
-              end
-            done;
-          (* Queue space freed: parked callers can try again. *)
-          if !popped && trt.t_wait_child <> [] then begin
-            let ws = trt.t_wait_child in
-            trt.t_wait_child <- [];
-            List.iter
-              (fun (i, wn) ->
-                wn.nr_wait_child <- false;
-                wake_fire sim i wn)
-              ws
-          end
         end
-      end)
-    sim.tasks;
-  (* 7. commit staged channel writes (dirty channels only) *)
-  let dirty = sim.dirty_fifos in
-  sim.dirty_fifos <- [];
-  List.iter
-    (fun f ->
+      end
+  done;
+  (* 7. commit staged channel writes (dirty channels only), in lane
+     order — the per-channel transfer is independent, so any fixed
+     order is deterministic *)
+  for l = 0 to sim.njobs - 1 do
+    let ln = sim.lanes.(l) in
+    for i = 0 to ln.ld_n - 1 do
+      let f = ln.ld_v.(i) in
       f.f_dirty <- false;
-      if not (Queue.is_empty f.staged) then begin
-        Queue.transfer f.staged f.fq;
+      if f.ftail - f.fmid > 0 then begin
+        f.fmid <- f.ftail;
         (* Fresh tokens: the consumer may be able to fire. *)
         match f.f_dst with
         | Some (di, dn) -> wake_fire sim di dn
         | None -> ()
-      end)
-    dirty;
+      end
+    done;
+    ln.ld_n <- 0
+  done;
   sim.node_cycles <- sim.node_cycles + sim.live_nodes;
   sim.now <- now + 1
 
@@ -1478,56 +2713,49 @@ let diagnose (sim : t) : string =
     (fun trt ->
       Buffer.add_string buf
         (Fmt.str "task %s: %d queued, %d invocations, %d instances@."
-           trt.tk.tname (Queue.length trt.tqueue) trt.tinvocations
-           (List.length trt.tinstances));
-      List.iter
-        (fun inst ->
-          if inst.i_count > 0 then begin
-            Buffer.add_string buf
-              (Fmt.str "task %s#%d: %d inflight, waves %a@." trt.tk.tname
-                 inst.iid inst.i_count
-                 Fmt.(Dump.list int)
-                 (List.map fst (inflight_waves inst)));
-            Array.iter
-              (fun (n : node_rt) ->
-                let in_state =
-                  Array.to_list
-                    (Array.map
-                       (function
-                         | None -> "imm"
-                         | Some f -> string_of_int (Queue.length f.fq))
-                       n.nr_in)
-                in
-                let out_state =
-                  Array.to_list
-                    (Array.map
-                       (fun fs ->
-                         String.concat "/"
-                           (List.map
-                              (fun (f : fifo) ->
-                                Fmt.str "%d(%d)" (Queue.length f.fq) f.cap)
-                              fs))
-                       n.nr_out)
-                in
-                let resp_waves =
-                  Hashtbl.fold (fun w _ acc -> w :: acc) n.nr_resp []
-                  |> List.sort compare
-                in
-                Buffer.add_string buf
-                  (Fmt.str
-                     "  n%d %s fired=%d pipe=%d mem=%d resp=%a next=%d sync=%d in=[%s] out=[%s]@."
-                     n.nr.nid
-                     (Muir_core.Graph.kind_to_string n.nr.kind)
-                     n.nr_fired (Queue.length n.nr_pipe)
-                     (Queue.length n.nr_mem)
-                     Fmt.(Dump.list int) resp_waves
-                     n.nr_next_resp
-                     (Queue.length n.nr_sync)
-                     (String.concat ";" in_state)
-                     (String.concat ";" out_state)))
-              inst.inodes
-          end)
-        trt.tinstances)
+           trt.tk.tname (tq_len trt) trt.tinvocations trt.tinst_n);
+      for k = 0 to trt.tinst_n - 1 do
+        let inst = trt.tinst.(k) in
+        if inst.live && inst.i_count > 0 then begin
+          Buffer.add_string buf
+            (Fmt.str "task %s#%d: %d inflight, lo=%d next=%d@." trt.tk.tname
+               inst.iid inst.i_count inst.i_lo inst.next_wave);
+          Array.iter
+            (fun (n : node_rt) ->
+              let in_state =
+                Array.to_list
+                  (Array.map
+                     (function
+                       | None -> "imm"
+                       | Some (f : fifo) -> string_of_int (f.fmid - f.fhead))
+                     n.nr_in)
+              in
+              let out_state =
+                Array.to_list
+                  (Array.map
+                     (fun fs ->
+                       String.concat "/"
+                         (List.map
+                            (fun (f : fifo) ->
+                              Fmt.str "%d(%d)" (f.fmid - f.fhead) f.fcap)
+                            (Array.to_list fs)))
+                     n.nr_out)
+              in
+              Buffer.add_string buf
+                (Fmt.str
+                   "  n%d %s fired=%d pipe=%d mem=%d next=%d sync=%d in=[%s] out=[%s]@."
+                   n.nr.nid
+                   (Muir_core.Graph.kind_to_string n.nr.kind)
+                   n.nr_fired
+                   (n.np_tail - n.np_head)
+                   (n.nm_tail - n.nm_head)
+                   n.nr_next_resp
+                   (n.ns_tail - n.ns_head)
+                   (String.concat ";" in_state)
+                   (String.concat ";" out_state)))
+            inst.inodes
+        end
+      done)
     sim.tasks;
   Buffer.contents buf
 
@@ -1538,28 +2766,84 @@ let diagnose (sim : t) : string =
     tracer is attached).  [?tracer] additionally streams timeline
     events into a [Muir_trace.Trace.t]; tracing is strictly passive,
     so cycle counts, stats and counters are identical with it on or
-    off. *)
+    off.  [?jobs] > 1 shards the fire and emit phases across an
+    OCaml-5 domain pool; results are bit-identical for every job
+    count (a tracer forces [jobs = 1], since the event ring is not
+    sharded). *)
 let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
-    ?(deadlock_window = 50_000) (c : G.circuit) : result =
+    ?(deadlock_window = 50_000) ?(jobs = 1) (c : G.circuit) : result =
   let t_start = Unix.gettimeofday () in
-  let sim = create ?tracer c in
+  let jobs = match tracer with Some _ -> 1 | None -> max 1 jobs in
+  (* The steady-state kernel is allocation-free, but instance-pool
+     warm-up (deep spawn recursion) allocates in bursts.  A default
+     256k-word minor heap promotes those bursts straight to the major
+     heap and triggers full collections mid-run; run under a roomier
+     nursery and restore the caller's sizing afterwards. *)
+  let gc_ctrl = Gc.get () in
+  if gc_ctrl.Gc.minor_heap_size < 2_097_152 then
+    Gc.set { gc_ctrl with Gc.minor_heap_size = 2_097_152 };
+  let sim = create ?tracer ~jobs c in
+  if sim.njobs > 1 then sim.dpool <- Some (Dpool.create sim.njobs);
+  Fun.protect
+    ~finally:(fun () ->
+      if gc_ctrl.Gc.minor_heap_size < 2_097_152 then Gc.set gc_ctrl;
+      match sim.dpool with
+      | Some p ->
+        sim.dpool <- None;
+        Dpool.shutdown p
+      | None -> ())
+  @@ fun () ->
   let root = sim.tasks.(c.root) in
-  let ctx = { live_children = 0; cx_owner = None; cx_waiters = [] } in
-  Queue.add
-    { m_args = Array.of_list (T.VBool true :: args); m_ctx = ctx;
-      m_reply = Rroot }
-    root.tqueue;
-  while sim.root_result = None && sim.now < max_cycles do
+  let root_ctx =
+    { live_children = 0; cx_owner = None; cx_w_inst = [||]; cx_w_node = [||];
+      cx_nw = 0 }
+  in
+  let s =
+    tq_push root ~ctx:root_ctx ~rkind:0 ~rinst:dummy_inst ~rnode:dummy_node
+      ~rwave:0 ~rctx:root_ctx
+  in
+  let base = s * max root.t_arity 1 in
+  for i = 0 to root.t_arity - 1 do
+    root.tq_tags.(base + i) <- F.tpoison;
+    root.tq_nums.(base + i) <- 0;
+    root.tq_flts.(base + i) <- 0.0;
+    root.tq_objs.(base + i) <- F.no_obj
+  done;
+  List.iteri
+    (fun i v ->
+      if i < root.t_arity then begin
+        root.tq_tags.(base + i) <- F.tag_of v;
+        root.tq_nums.(base + i) <- F.num_of v;
+        root.tq_flts.(base + i) <- F.flt_of v;
+        root.tq_objs.(base + i) <- F.obj_of v
+      end)
+    (T.VBool true :: args);
+  (* GC evidence: sample the minor-heap allocation counter every 4096
+     cycles; the steady-state rate is measured over the second half of
+     the run, past the construction warm-up. *)
+  let gc0 = Gc.quick_stat () in
+  let samples = ref (Array.make 64 0.0) in
+  let nsamples = ref 0 in
+  let push_sample () =
+    if !nsamples = Array.length !samples then begin
+      let nv = Array.make (!nsamples * 2) 0.0 in
+      Array.blit !samples 0 nv 0 !nsamples;
+      samples := nv
+    end;
+    !samples.(!nsamples) <- Gc.minor_words ();
+    incr nsamples
+  in
+  push_sample ();
+  while (not sim.root_done) && sim.now < max_cycles do
     if sim.now - sim.last_activity > deadlock_window then
       raise
         (Deadlock
            (Fmt.str "no progress for %d cycles at cycle %d:@.%s"
               deadlock_window sim.now (diagnose sim)));
-    step sim
+    step sim;
+    if sim.now land 4095 = 0 then push_sample ()
   done;
-  (match sim.root_result with
-  | None -> raise (Cycle_limit max_cycles)
-  | Some _ -> ());
+  if not sim.root_done then raise (Cycle_limit max_cycles);
   (* Close the books: fold every still-live instance's accounting into
      the whole-run counter bank. *)
   sim.ctrs.Ctr.final_cycle <- sim.now;
@@ -1568,19 +2852,32 @@ let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
   | None -> ());
   Array.iter
     (fun trt ->
-      List.iter
-        (fun inst ->
+      for k = 0 to trt.tinst_n - 1 do
+        let inst = trt.tinst.(k) in
+        if inst.live then begin
           let ip = inst.i_prof in
           Array.iteri
             (fun i np ->
               let n = inst.inodes.(i) in
-              Ctr.fold sim.ctrs ~task:inst.it.tid ~node:n.nr.nid
+              Ctr.fold sim.ctrs ~task:inst.it.tid ~node:n.nr.G.nid
                 ~fires:n.nr_fired ~born:ip.born ~upto:sim.now np)
-            ip.nprofs)
-        trt.tinstances)
+            ip.Tr.Prof.nprofs
+        end
+      done)
     sim.tasks;
-  let res = Option.get sim.root_result in
-  let value = if Array.length res > 1 then res.(1) else T.VBool true in
+  let gc1 = Gc.quick_stat () in
+  let gc_rate =
+    if !nsamples >= 4 then begin
+      let lo = !nsamples / 2 in
+      let dw = !samples.(!nsamples - 1) -. !samples.(lo) in
+      let dc = float_of_int ((!nsamples - 1 - lo) * 4096) in
+      if dc > 0.0 then dw /. dc else 0.0
+    end
+    else if sim.now > 0 then
+      (Gc.minor_words () -. !samples.(0)) /. float_of_int sim.now
+    else 0.0
+  in
+  let value = sim.root_val in
   let dma = dma_cycles c in
   let wall = Unix.gettimeofday () -. t_start in
   (* Derived rates must stay printable on degenerate runs: a zero-cycle
@@ -1592,7 +2889,7 @@ let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
     else finite (float_of_int total /. float_of_int sim.now)
   in
   { value;
-    memory = sim.ms.mem;
+    memory = sim.ms.Memsys.mem;
     counters = sim.ctrs;
     stats =
       { cycles = sim.now; dma_cycles = dma; total_cycles = sim.now + dma;
@@ -1609,9 +2906,12 @@ let run ?tracer ?(args = []) ?(max_cycles = 20_000_000)
                    else float_of_int trt.tbusy /. float_of_int sim.now ))
                sim.tasks);
         mem = Memsys.stats sim.ms;
-        mem_requests = sim.ms.total_requests;
+        mem_requests = sim.ms.Memsys.total_requests;
         wall_seconds = wall;
         cycles_per_sec =
           (if wall > 0.0 then finite (float_of_int sim.now /. wall) else 0.0);
         woken_per_cycle = per_cycle sim.woken;
-        live_nodes_per_cycle = per_cycle sim.node_cycles } }
+        live_nodes_per_cycle = per_cycle sim.node_cycles;
+        gc_minor_words_per_cycle = finite gc_rate;
+        gc_major_collections =
+          gc1.Gc.major_collections - gc0.Gc.major_collections } }

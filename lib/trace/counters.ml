@@ -87,8 +87,10 @@ module Prof = struct
   }
 
   (** The per-instance profile: one [nprof] per node, indexed by the
-      node's drain-order index. *)
-  type iprof = { born : int; nprofs : nprof array }
+      node's drain-order index.  [born] is mutable so the simulator
+      can pool retired dynamic instances and rebirth their profiles in
+      place instead of reallocating the accumulator arrays. *)
+  type iprof = { mutable born : int; nprofs : nprof array }
 
   let make ~(born : int) ~(nnodes : int) : iprof =
     { born;
@@ -96,6 +98,18 @@ module Prof = struct
         Array.init nnodes (fun _ ->
             { st = cause_index Idle; since = born;
               acc = Array.make ncauses 0 }) }
+
+  (** Rebirth a pooled profile at cycle [born]: all accumulators to
+      zero, every node back to [Idle].  Allocation-free. *)
+  let reset (ip : iprof) ~(born : int) : unit =
+    ip.born <- born;
+    let idle = cause_index Idle in
+    for i = 0 to Array.length ip.nprofs - 1 do
+      let np = ip.nprofs.(i) in
+      np.st <- idle;
+      np.since <- born;
+      Array.fill np.acc 0 ncauses 0
+    done
 
   (** Close the current interval at [now] and relabel; true if the
       label actually changed (callers use this to avoid flooding the
@@ -165,6 +179,17 @@ let fold (c : t) ~(task : int) ~(node : int) ~(fires : int) ~(born : int)
   g.n_span <- g.n_span + (upto - born);
   Array.iteri (fun i v -> g.n_acc.(i) <- g.n_acc.(i) + v) np.acc
 
+(** {!fold} against a counter the caller already resolved with
+    {!node_ctr} — no hashed (task, node) key on the retirement path. *)
+let fold_into (g : node_ctr) ~(fires : int) ~(born : int) ~(upto : int)
+    (np : Prof.nprof) : unit =
+  ignore (Prof.transition np np.st upto);
+  g.n_fires <- g.n_fires + fires;
+  g.n_span <- g.n_span + (upto - born);
+  for i = 0 to ncauses - 1 do
+    g.n_acc.(i) <- g.n_acc.(i) + np.acc.(i)
+  done
+
 (** Accumulate one cycle's occupancy sample into [key]'s integral. *)
 let occ_add (c : t) (key : key) (depth : int) : unit =
   match Hashtbl.find_opt c.occ key with
@@ -175,6 +200,22 @@ let occ_add (c : t) (key : key) (depth : int) : unit =
   | None ->
     Hashtbl.add c.occ key
       { o_cycles = 1; o_sum = depth; o_max = depth }
+
+(** The occupancy integral for [key], created empty on first use.  The
+    kernel resolves each queue's counter once and then ticks it with
+    {!occ_tick} — no variant-key allocation per cycle. *)
+let occ_ref (c : t) (key : key) : occ_ctr =
+  match Hashtbl.find_opt c.occ key with
+  | Some o -> o
+  | None ->
+    let o = { o_cycles = 0; o_sum = 0; o_max = 0 } in
+    Hashtbl.add c.occ key o;
+    o
+
+let occ_tick (o : occ_ctr) (depth : int) : unit =
+  o.o_cycles <- o.o_cycles + 1;
+  o.o_sum <- o.o_sum + depth;
+  if depth > o.o_max then o.o_max <- depth
 
 (* ------------------------------------------------------------------ *)
 (* Reading the bank                                                     *)

@@ -36,47 +36,55 @@ let shell ~spad_width ~spad_banks ~cache_banks () =
   (ms, ms.space_of 1, ms.space_of 2)
 
 let access addrs =
-  { M.a_is_store = false;
-    a_words = Array.of_list (List.map (fun a -> (a, None)) addrs);
-    a_loaded = []; a_pending = 0; a_done = false; a_issued = 0;
-    a_notify = ignore }
+  let a = M.make_access ~words:(List.length addrs) ~notify:ignore in
+  M.reset_access a ~is_store:false ~now:0;
+  List.iter
+    (fun w ->
+      a.M.a_addrs.(a.M.a_n) <- w;
+      a.M.a_n <- a.M.a_n + 1)
+    addrs;
+  a
+
+(* split fills the access's reused sub-request slots; [a_nsrs] is the
+   transaction count *)
+let nsplit rt addrs =
+  let a = access addrs in
+  M.split rt a;
+  a.M.a_nsrs
 
 let test_scratchpad_split_width () =
   let _, sp, _ = shell ~spad_width:4 ~spad_banks:2 ~cache_banks:1 () in
   (* a 2x2 tile = 4 words: one wide access *)
-  let srs = M.split sp (access [ 0; 1; 8; 9 ]) in
   Alcotest.(check int) "wide scratchpad: one transaction" 1
-    (List.length srs);
+    (nsplit sp [ 0; 1; 8; 9 ]);
   (* width 1 would need 4 *)
   let _, sp1, _ = shell ~spad_width:1 ~spad_banks:2 ~cache_banks:1 () in
   Alcotest.(check int) "narrow scratchpad: four transactions" 4
-    (List.length (M.split sp1 (access [ 0; 1; 8; 9 ])))
+    (nsplit sp1 [ 0; 1; 8; 9 ])
 
 let test_cache_split_coalesces_lines () =
   let _, _, l1 = shell ~spad_width:1 ~spad_banks:1 ~cache_banks:1 () in
   (* words 0,1 share a line; word 9 is on the next line: two requests *)
-  Alcotest.(check int) "line coalescing" 2
-    (List.length (M.split l1 (access [ 0; 1; 9 ])))
+  Alcotest.(check int) "line coalescing" 2 (nsplit l1 [ 0; 1; 9 ])
 
 let test_bank_mapping () =
   let _, _, l1 = shell ~spad_width:1 ~spad_banks:1 ~cache_banks:4 () in
-  let bank addr =
-    M.bank_of l1 { M.sr_addrs = [ addr ]; sr_access = access [ addr ] }
+  let bank rt addr =
+    let a = access [ addr ] in
+    M.split rt a;
+    M.bank_of rt a.M.a_srs.(0)
   in
   (* line-interleaved: consecutive lines hit consecutive banks *)
-  Alcotest.(check int) "line 0 -> bank 0" 0 (bank 0);
-  Alcotest.(check int) "line 1 -> bank 1" 1 (bank 8);
-  Alcotest.(check int) "line 4 wraps to bank 0" 0 (bank 32);
+  Alcotest.(check int) "line 0 -> bank 0" 0 (bank l1 0);
+  Alcotest.(check int) "line 1 -> bank 1" 1 (bank l1 8);
+  Alcotest.(check int) "line 4 wraps to bank 0" 0 (bank l1 32);
   let _, sp, _ = shell ~spad_width:1 ~spad_banks:2 ~cache_banks:1 () in
-  let sbank addr =
-    M.bank_of sp { M.sr_addrs = [ addr ]; sr_access = access [ addr ] }
-  in
   (* word-interleaved scratchpad *)
-  Alcotest.(check int) "word 0 -> bank 0" 0 (sbank 0);
-  Alcotest.(check int) "word 1 -> bank 1" 1 (sbank 1)
+  Alcotest.(check int) "word 0 -> bank 0" 0 (bank sp 0);
+  Alcotest.(check int) "word 1 -> bank 1" 1 (bank sp 1)
 
 let test_cache_lru_and_prefetch () =
-  let ts = { M.sets = 2; ways = 2; lines = Array.make 2 [] } in
+  let ts = M.make_tagstore ~sets:2 ~ways:2 ~nbanks:1 in
   let look addr = M.cache_lookup ts ~nbanks:1 ~line_words:8 addr in
   Alcotest.(check bool) "cold miss" false (look 0);
   Alcotest.(check bool) "hit after fill" true (look 0);
@@ -118,11 +126,19 @@ let prop_split_preserves_words =
     (fun addrs ->
       let addrs = List.sort_uniq compare addrs in
       let _, sp, l1 = shell ~spad_width:3 ~spad_banks:2 ~cache_banks:2 () in
-      let words srs =
-        List.sort compare (List.concat_map (fun s -> s.M.sr_addrs) srs)
+      let words rt =
+        let a = access addrs in
+        M.split rt a;
+        let ws = ref [] in
+        for j = a.M.a_nsrs - 1 downto 0 do
+          let sr = a.M.a_srs.(j) in
+          for i = sr.M.sr_n - 1 downto 0 do
+            ws := sr.M.sr_addrs.(i) :: !ws
+          done
+        done;
+        List.sort compare !ws
       in
-      words (M.split sp (access addrs)) = addrs
-      && words (M.split l1 (access addrs)) = addrs)
+      words sp = addrs && words l1 = addrs)
 
 let () =
   Alcotest.run "memsys"

@@ -1,0 +1,127 @@
+(* Sharded-simulation equivalence: the Domain-pool kernel must be
+   bit-identical to the sequential kernel — same total_cycles, same
+   fire count, same always-on counter bank — for every job count, on
+   every bundled workload, under every registry pass stack.  The
+   sharded protocol defers all cross-task effects (call/spawn/sync
+   fires) to the coordinator, which replays them in task-id order, so
+   job count must never be observable in the results. *)
+
+module W = Muir_workloads.Workloads
+module Ctr = Muir_trace.Counters
+module Stacks = Muir_opt.Stacks
+
+(* Canonical rendering of a counter bank: per-node fires, lifetime
+   spans and per-cause cycle accumulators, occupancy integrals, and
+   the whole-run scalars, in sorted key order.  Any divergence in any
+   counter shows up as a string diff. *)
+let bank_fingerprint (c : Ctr.t) : string =
+  let buf = Buffer.create 1024 in
+  let nodes = ref [] in
+  Ctr.iter_nodes
+    (fun ~task ~node g -> nodes := (task, node, g) :: !nodes)
+    c;
+  List.iter
+    (fun (task, node, (g : Ctr.node_ctr)) ->
+      Buffer.add_string buf
+        (Fmt.str "n %d %d f=%d s=%d a=%s@." task node g.Ctr.n_fires
+           g.Ctr.n_span
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int g.Ctr.n_acc)))))
+    (List.sort
+       (fun (t1, n1, _) (t2, n2, _) -> compare (t1, n1) (t2, n2))
+       !nodes);
+  List.iter
+    (fun k ->
+      match Ctr.find_occ c k with
+      | Some o ->
+        let tag =
+          match k with
+          | Ctr.Ktask i -> Fmt.str "t%d" i
+          | Ctr.Kstruct i -> Fmt.str "s%d" i
+        in
+        Buffer.add_string buf
+          (Fmt.str "o %s c=%d s=%d m=%d@." tag o.Ctr.o_cycles o.Ctr.o_sum
+             o.Ctr.o_max)
+      | None -> ())
+    (List.sort compare (Ctr.occ_keys c));
+  Buffer.add_string buf
+    (Fmt.str "spawns=%d syncs=%d final=%d@." c.Ctr.spawns c.Ctr.syncs
+       c.Ctr.final_cycle);
+  Buffer.contents buf
+
+let run_with ~jobs (w : W.t) (spec : Stacks.spec) =
+  let p = W.program w in
+  let c, _ =
+    Stacks.optimized ~name:w.wname (spec.sp_build spec.sp_defaults) p
+  in
+  Muir_sim.Sim.run ~jobs c
+
+let test_jobs_equivalence (w : W.t) () =
+  List.iter
+    (fun (spec : Stacks.spec) ->
+      let r1 = run_with ~jobs:1 w spec in
+      let r4 = run_with ~jobs:4 w spec in
+      let tag = Fmt.str "%s/%s" w.wname spec.sp_name in
+      Alcotest.(check int)
+        (tag ^ ": total_cycles jobs=1 == jobs=4")
+        r1.stats.total_cycles r4.stats.total_cycles;
+      Alcotest.(check int)
+        (tag ^ ": fires jobs=1 == jobs=4")
+        r1.stats.fires r4.stats.fires;
+      Alcotest.(check string)
+        (tag ^ ": counter bank jobs=1 == jobs=4")
+        (bank_fingerprint r1.counters)
+        (bank_fingerprint r4.counters))
+    Stacks.registry
+
+(* Odd job counts and more lanes than tasks must also be invisible. *)
+let test_jobs_sweep () =
+  let w = List.find (fun (w : W.t) -> w.wname = "fib") W.all in
+  let spec = Option.get (Stacks.find_spec "cilk-stack") in
+  let r1 = run_with ~jobs:1 w spec in
+  List.iter
+    (fun jobs ->
+      let r = run_with ~jobs w spec in
+      Alcotest.(check int)
+        (Fmt.str "fib cycles jobs=%d" jobs)
+        r1.stats.total_cycles r.stats.total_cycles;
+      Alcotest.(check string)
+        (Fmt.str "fib bank jobs=%d" jobs)
+        (bank_fingerprint r1.counters)
+        (bank_fingerprint r.counters))
+    [ 2; 3; 7 ]
+
+(* A tracer forces jobs=1 (the event ring is not sharded), so a traced
+   run requested with jobs=4 must still match exactly — and carry the
+   same events as a traced jobs=1 run. *)
+let test_traced_equivalence () =
+  List.iter
+    (fun name ->
+      let w = List.find (fun (w : W.t) -> w.wname = name) W.all in
+      let p = W.program w in
+      let c1 = Muir_core.Build.circuit ~name p in
+      let r1 = Muir_sim.Sim.run ~jobs:1 c1 in
+      let c2 = Muir_core.Build.circuit ~name p in
+      let tracer = Muir_trace.Trace.create ~capacity:16 () in
+      let r2 = Muir_sim.Sim.run ~tracer ~jobs:4 c2 in
+      Alcotest.(check int)
+        (name ^ ": traced jobs=4 total_cycles")
+        r1.stats.total_cycles r2.stats.total_cycles;
+      Alcotest.(check string)
+        (name ^ ": traced jobs=4 counter bank")
+        (bank_fingerprint r1.counters)
+        (bank_fingerprint r2.counters))
+    [ "gemm"; "fib"; "relu[T]" ]
+
+let () =
+  Alcotest.run "shard"
+    [ ( "jobs-equivalence",
+        List.map
+          (fun (w : W.t) ->
+            Alcotest.test_case w.wname `Quick (test_jobs_equivalence w))
+          W.all );
+      ( "sweep",
+        [ Alcotest.test_case "fib job counts" `Quick test_jobs_sweep ] );
+      ( "traced",
+        [ Alcotest.test_case "tracer forces jobs=1" `Quick
+            test_traced_equivalence ] ) ]
