@@ -624,7 +624,112 @@ let profile () =
       ("2mm[T]", "tensor-stack", fun () -> Opt.Stacks.tensor_stack ()) ]
 
 (* ------------------------------------------------------------------ *)
+(* Static timing bounds cross-validated against the simulator          *)
+
+let timing () =
+  header
+    "Static timing analysis: max-cycle-ratio lower bounds vs measured \
+     cycles, every workload under every registry stack";
+  Fmt.pr "@.%-12s %-14s %10s %10s %10s@." "workload" "stack" "bound"
+    "measured" "tightness";
+  let rows = ref 0 and tight_sum = ref 0.0 in
+  let tight_min = ref infinity and tight_max = ref 0.0 in
+  List.iter
+    (fun (w : W.t) ->
+      List.iter
+        (fun (s : Opt.Stacks.spec) ->
+          let p = W.program w in
+          let c = Muir_core.Build.circuit ~name:w.wname p in
+          let _ = Opt.Pass.run_all (s.sp_build s.sp_defaults) c in
+          let bound = Muir_analysis.Timing.bound_cycles c in
+          let r = Muir_sim.Sim.run c in
+          let m = r.Muir_sim.Sim.stats.total_cycles in
+          (* The soundness contract: the static bound may be loose but
+             must never exceed what the simulator measures. *)
+          if bound > m then begin
+            Fmt.epr "%s under %s: UNSOUND static bound %d > measured %d@."
+              w.wname s.sp_name bound m;
+            exit 1
+          end;
+          let tight =
+            if m = 0 then 1.0 else float_of_int bound /. float_of_int m
+          in
+          incr rows;
+          tight_sum := !tight_sum +. tight;
+          if tight < !tight_min then tight_min := tight;
+          if tight > !tight_max then tight_max := tight;
+          Fmt.pr "%-12s %-14s %10d %10d %9.2f@." w.wname s.sp_name bound m
+            tight)
+        Opt.Stacks.registry)
+    W.all;
+  Fmt.pr "@.%d pairs, all sound; tightness min %.2f mean %.2f max %.2f@."
+    !rows !tight_min
+    (!tight_sum /. float_of_int (max 1 !rows))
+    !tight_max;
+  (* Cross-validation of the critical-cycle attribution: on gemm under
+     the queue-bound baseline stack, the structure the profiler blames
+     for the dominant stall must appear as some task's static binding. *)
+  let w = W.find "gemm" in
+  let c = Muir_core.Build.circuit ~name:w.wname (W.program w) in
+  let tracer = Muir_trace.Trace.create () in
+  let r = Muir_sim.Sim.run ~tracer c in
+  let prof = Muir_trace.Profile.of_run c ~tracer r.Muir_sim.Sim.counters in
+  (match Muir_trace.Profile.dominant_struct prof with
+  | None ->
+    Fmt.epr "gemm baseline: profiler reports no stalls@.";
+    exit 1
+  | Some s ->
+    let a = Muir_analysis.Timing.analyze c in
+    let blamed =
+      List.exists
+        (fun (tt : Muir_analysis.Timing.task_timing) ->
+          match tt.tt_ii with
+          | Muir_analysis.Timing.Bounded { binding; _ } ->
+            Muir_analysis.Timing.binding_sref binding = Some s.s_ref
+          | _ -> false)
+        a.tasks
+    in
+    if not blamed then begin
+      Fmt.epr
+        "gemm baseline: profiler blames %s but no static critical cycle \
+         binds it@."
+        s.s_name;
+      exit 1
+    end;
+    Fmt.pr
+      "@.gemm baseline: profiler's dominant stall (%s, %d cycles) matches \
+       a static critical-cycle binding@."
+      s.s_name s.s_stalls)
+
+(* ------------------------------------------------------------------ *)
 (* Design-space exploration: the explorer vs the hand-picked stacks     *)
+
+let frontier_fingerprint (t : Muir_dse.Explore.t) : string =
+  String.concat "\n" (List.map Muir_dse.Explore.eval_to_json t.x_frontier)
+  ^ "\nbest:"
+  ^ (match t.x_best with
+    | Some b -> Muir_dse.Explore.eval_to_json b
+    | None -> "none")
+
+(* Resolve bundled examples whether we run from the repo root or from
+   inside the build tree. *)
+let read_example name =
+  let candidates =
+    [ Filename.concat "examples" name;
+      Filename.concat "../examples" name;
+      Filename.concat "../../examples" name;
+      Filename.concat "../../../examples" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p ->
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None ->
+    Fmt.epr "cannot locate examples/%s@." name;
+    exit 1
 
 let explore () =
   header
@@ -690,8 +795,75 @@ let explore () =
       end;
       Fmt.pr
         "re-exploration    %d cache hits, 0 fresh simulations@."
-        again.x_cache_hits)
-    [ "gemm"; "fib"; "2mm" ]
+        again.x_cache_hits;
+      (* Pass 4: the timing admission filter must be transparent — a
+         pruned run from a cold cache reproduces the same frontier,
+         byte for byte, never simulating more. *)
+      let pruned =
+        Muir_dse.Explore.run ~timing_prune:true ~jobs ~budget_evals:128
+          ~cache:(Muir_dse.Cache.create ()) subject
+      in
+      if frontier_fingerprint pruned <> frontier_fingerprint full then begin
+        Fmt.epr "%s: timing-pruned frontier diverged@." name;
+        exit 1
+      end;
+      Fmt.pr
+        "timing-pruned     identical frontier, %d of %d simulations \
+         skipped@."
+        pruned.x_timing_pruned pruned.x_fresh_evals)
+    [ "gemm"; "fib"; "2mm" ];
+  (* The queue-bound workloads above have bounds far below any measured
+     run, so their filter never fires (and must not).  divring — the
+     closed-form divide ring, where op-fusion re-times the recurrence —
+     is the subject with honest pruning geometry: an un-fused config's
+     static bound exceeds a fused config's measured cycles, so the
+     banked un-fused configs are rejected without simulating. *)
+  let subject =
+    Muir_dse.Explore.source_subject ~name:"divring"
+      (read_example "divring.mc")
+  in
+  let grid =
+    [ Muir_dse.Config.v "baseline";
+      Muir_dse.Config.v "cilk-stack";
+      Muir_dse.Config.v ~off:[ "op-fusion" ] "cilk-stack";
+      Muir_dse.Config.v ~tiles:2 "cilk-stack";
+      Muir_dse.Config.v ~banks:2 "cilk-stack";
+      Muir_dse.Config.v ~banks:4 "cilk-stack";
+      Muir_dse.Config.v ~tiles:2 ~banks:2 "cilk-stack";
+      Muir_dse.Config.v ~tiles:2 ~banks:4 "cilk-stack";
+      Muir_dse.Config.v ~banks:2 ~off:[ "op-fusion" ] "cilk-stack";
+      Muir_dse.Config.v ~banks:4 ~off:[ "op-fusion" ] "cilk-stack";
+      Muir_dse.Config.v ~tiles:2 ~banks:2 ~off:[ "op-fusion" ] "cilk-stack";
+      Muir_dse.Config.v ~tiles:2 ~banks:4 ~off:[ "op-fusion" ] "cilk-stack" ]
+  in
+  let jobs = max 1 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let plain =
+    Muir_dse.Explore.run ~jobs ~cache:(Muir_dse.Cache.create ()) ~grid
+      subject
+  in
+  let pruned =
+    Muir_dse.Explore.run ~timing_prune:true ~jobs
+      ~cache:(Muir_dse.Cache.create ()) ~grid subject
+  in
+  Fmt.pr "@.== divring (timing-pruned grid)@.";
+  Muir_dse.Explore.pp_result Fmt.stdout pruned;
+  if frontier_fingerprint pruned <> frontier_fingerprint plain then begin
+    Fmt.epr "divring: timing-pruned frontier diverged@.";
+    exit 1
+  end;
+  if
+    pruned.x_timing_pruned < 1
+    || pruned.x_fresh_sims >= plain.x_fresh_sims
+  then begin
+    Fmt.epr
+      "divring: timing filter skipped nothing (%d -> %d sims, %d pruned)@."
+      plain.x_fresh_sims pruned.x_fresh_sims pruned.x_timing_pruned;
+    exit 1
+  end;
+  Fmt.pr
+    "timing filter: %d -> %d simulations (%d rejected on static bound), \
+     identical frontier@."
+    plain.x_fresh_sims pruned.x_fresh_sims pruned.x_timing_pruned
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks (one per table/figure kernel)    *)
@@ -854,6 +1026,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ablation", ablation);
     ("kernel", fun () -> kernel ());
     ("profile", profile);
+    ("timing", timing);
     ("explore", explore);
     ("bechamel", bechamel) ]
 

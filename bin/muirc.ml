@@ -165,26 +165,199 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Render the μIR circuit as a Graphviz digraph.")
     Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out $ prof_flag)
 
+(* muirc check: static analyses + optional timing oracle, with a
+   versioned JSON form and scriptable exit codes (0 clean / 1 errors /
+   3 warnings-only under --strict). *)
+
+let check_json_schema = "muir-check-v1"
+
+let check_json (c : Muir_core.Graph.circuit) ~(target : string)
+    (diags : Muir_analysis.Diag.t list)
+    (timing : Muir_analysis.Timing.t option) ~(exit_code : int) : string =
+  let module J = Muir_trace.Json in
+  let module A = Muir_analysis in
+  let diag_json (d : A.Diag.t) =
+    J.Obj
+      [ ("severity", J.Str (A.Diag.severity_to_string d.sev));
+        ("code", J.Str d.code);
+        ("where", J.Str d.where);
+        ("node", match d.node with Some n -> J.Int n | None -> J.Null);
+        ("msg", J.Str d.msg) ]
+  in
+  let ii_json (tt : A.Timing.task_timing) =
+    match tt.tt_ii with
+    | A.Timing.Unconstrained -> J.Obj [ ("kind", J.Str "unconstrained") ]
+    | A.Timing.Deadlocked cyc ->
+      J.Obj
+        [ ("kind", J.Str "deadlock");
+          ("cycle", J.Arr (List.map (fun n -> J.Int n) cyc)) ]
+    | A.Timing.Bounded { num; den; cycle; binding } ->
+      J.Obj
+        [ ("kind", J.Str "bounded");
+          ("num", J.Int num);
+          ("den", J.Int den);
+          ("cycle", J.Arr (List.map (fun n -> J.Int n) cycle));
+          ("binding", J.Str (A.Timing.binding_name c binding));
+          ("suggest", J.Str (A.Timing.suggest c binding)) ]
+  in
+  let task_json (tt : A.Timing.task_timing) =
+    J.Obj
+      [ ("task", J.Int tt.tt_tid);
+        ("name", J.Str tt.tt_name);
+        ("ii", ii_json tt);
+        ("trips",
+         match tt.tt_trips with Some t -> J.Int t | None -> J.Null);
+        ("ninv", J.Int tt.tt_ninv);
+        ("rmin", J.Int tt.tt_rmin);
+        ("bound", J.Int tt.tt_bound);
+        ("pipelined", J.Bool tt.tt_pipelined);
+        ("dynamic", J.Bool tt.tt_dynamic) ]
+  in
+  let nerr = List.length (A.Diag.errors diags) in
+  J.to_string
+    (J.Obj
+       [ ("schema", J.Str check_json_schema);
+         ("target", J.Str target);
+         ("diagnostics", J.Arr (List.map diag_json diags));
+         ("errors", J.Int nerr);
+         ("warnings", J.Int (List.length diags - nerr));
+         ("timing",
+          match timing with
+          | None -> J.Null
+          | Some a ->
+            J.Obj
+              [ ("bound", J.Int a.bound);
+                ("tasks", J.Arr (List.map task_json a.tasks)) ]);
+         ("exit", J.Int exit_code) ])
+
 let check_cmd =
-  let run path passes unroll =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE|WORKLOAD"
+          ~doc:"A .mc source file, or the name of a bundled workload.")
+  in
+  let timing_flag =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Also run the static timing analysis: per-task steady-state \
+             II lower bounds (max cycle ratio of the timed token-flow \
+             graph), critical cycles, binding resources and sizing \
+             suggestions, plus a whole-run cycle lower bound.  On a \
+             clean circuit the suggestions are ranked against the \
+             simulator's measured stall attribution.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Write the diagnostics (and timing results, with \
+             $(b,--timing)) as schema-versioned JSON.")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit with code 3 when there are warnings but no errors.")
+  in
+  let run target passes unroll timing json strict =
     handle_frontend (fun () ->
-        let _, c = optimized_circuit ~unroll path passes in
+        let c =
+          if Sys.file_exists target then
+            snd (optimized_circuit ~unroll target passes)
+          else begin
+            let w = Muir_workloads.Workloads.find target in
+            let p = Muir_workloads.Workloads.program w in
+            let c = Muir_core.Build.circuit ~name:w.wname p in
+            let _ = Muir_opt.Pass.run_all (List.concat passes) c in
+            c
+          end
+        in
         let diags = Muir_analysis.Check.circuit c in
         List.iter (fun d -> Fmt.pr "%a@." Muir_analysis.Diag.pp d) diags;
         let nerr = List.length (Muir_analysis.Diag.errors diags) in
         let nwarn = List.length diags - nerr in
         if diags = [] then Fmt.pr "no findings@."
         else Fmt.pr "%d error(s), %d warning(s)@." nerr nwarn;
-        if nerr > 0 then exit 1)
+        let timing_info =
+          if not timing then None
+          else Some (Muir_analysis.Timing.analyze c)
+        in
+        Option.iter
+          (fun (a : Muir_analysis.Timing.t) ->
+            Fmt.pr "@.%a@." (Muir_analysis.Timing.report c) a;
+            (* Rank the static suggestions against measured stalls —
+               only on a clean circuit (a deadlocked one won't finish). *)
+            if nerr = 0 then begin
+              let r = Muir_sim.Sim.run c in
+              let prof =
+                Muir_trace.Profile.of_run c r.Muir_sim.Sim.counters
+              in
+              let measured = Muir_trace.Profile.dominant_struct prof in
+              (match measured with
+              | Some s ->
+                Fmt.pr "@.measured bottleneck: %s (%d stall cycles)@."
+                  s.s_name s.s_stalls
+              | None -> Fmt.pr "@.measured bottleneck: none (no stalls)@.");
+              let suggestions =
+                List.filter_map
+                  (fun (tt : Muir_analysis.Timing.task_timing) ->
+                    match tt.tt_ii with
+                    | Muir_analysis.Timing.Bounded { binding; _ } ->
+                      let hit =
+                        match
+                          ( measured,
+                            Muir_analysis.Timing.binding_sref binding )
+                        with
+                        | Some s, Some sref -> s.s_ref = sref
+                        | _ -> false
+                      in
+                      Some (hit, tt, binding)
+                    | _ -> None)
+                  a.tasks
+              in
+              let suggestions =
+                List.stable_sort
+                  (fun (h1, _, _) (h2, _, _) -> compare h2 h1)
+                  suggestions
+              in
+              List.iter
+                (fun (hit, (tt : Muir_analysis.Timing.task_timing), b) ->
+                  Fmt.pr "suggest%s: %s binds %s — %s@."
+                    (if hit then " [matches measured]" else "")
+                    tt.tt_name
+                    (Muir_analysis.Timing.binding_name c b)
+                    (Muir_analysis.Timing.suggest c b))
+                suggestions;
+              Fmt.pr "static bound %d <= measured %d cycles@." a.bound
+                r.Muir_sim.Sim.stats.total_cycles
+            end)
+          timing_info;
+        let code = if nerr > 0 then 1 else if strict && nwarn > 0 then 3 else 0 in
+        Option.iter
+          (fun f ->
+            write_file f
+              (check_json c ~target diags timing_info ~exit_code:code))
+          json;
+        exit code)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the static analyses on a program's circuit: deadlock and \
-          starvation on the dataflow graph, buffer-sizing imbalance, and \
-          parallel-race detection on the spawn structure.  Exits non-zero \
-          if any error-severity diagnostic is found.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
+          starvation on the dataflow graph, buffer-sizing imbalance, \
+          parallel-race detection on the spawn structure, and (with \
+          $(b,--timing)) max-cycle-ratio throughput bounds.  Exit code 0 \
+          when clean, 1 on errors, 3 on warnings-only with \
+          $(b,--strict).  $(b,--json) writes machine-readable results.")
+    Term.(
+      const run $ target_arg $ passes_arg $ unroll_arg $ timing_flag
+      $ json_arg $ strict_flag)
 
 let chisel_cmd =
   let out =
@@ -449,7 +622,16 @@ let explore_cmd =
             "Search strategy: $(b,grid) (exhaustive sweep) or \
              $(b,greedy) (profiler-guided hill climb).")
   in
-  let run target budget area jobs json seed strat =
+  let tprune_flag =
+    Arg.(
+      value & flag
+      & info [ "timing-prune" ]
+          ~doc:
+            "Skip simulating configurations whose static timing lower \
+             bound is already strictly dominated by a simulated point \
+             (same frontier, fewer simulations).")
+  in
+  let run target budget area jobs json seed strat tprune =
     handle_frontend (fun () ->
         let subject =
           if Sys.file_exists target then
@@ -469,7 +651,7 @@ let explore_cmd =
         in
         let t =
           Muir_dse.Explore.run ~strategy ~jobs ~budget_evals:budget
-            ?area_budget:area ~seed subject
+            ?area_budget:area ~timing_prune:tprune ~seed subject
         in
         Muir_dse.Explore.pp_result Fmt.stdout t;
         Option.iter
@@ -486,7 +668,7 @@ let explore_cmd =
           print the cycles-vs-area Pareto frontier.")
     Term.(
       const run $ target_arg $ budget_arg $ area_arg $ jobs_arg
-      $ json_arg $ seed_arg $ strategy_arg)
+      $ json_arg $ seed_arg $ strategy_arg $ tprune_flag)
 
 let synth_cmd =
   let run path passes =

@@ -8,15 +8,19 @@
 
 module G = Muir_core.Graph
 
+(* Every entry point funnels through here: deduplicated, then under
+   Diag's total order, so output is byte-stable for golden tests. *)
+let finalize ds = Diag.sort (Diag.dedup ds)
+
 let program (p : Muir_ir.Program.t) : Diag.t list =
-  Diag.sort (Races.check p)
+  finalize (Races.check p)
 
 let circuit (c : G.circuit) : Diag.t list =
-  Diag.sort (Liveness.check c @ Races.check c.prog)
+  finalize (Liveness.check c @ Races.check c.prog)
 
 (** Graph-only checks, cheap enough to run after every μopt pass. *)
 let circuit_liveness (c : G.circuit) : Diag.t list =
-  Diag.sort (Liveness.check c)
+  finalize (Liveness.check c)
 
 let pp_report ppf (ds : Diag.t list) =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Diag.pp) ds

@@ -13,31 +13,40 @@ type t = {
   sev : severity;
   code : string;
       (** stable machine-readable tag: ["deadlock"], ["starved"],
-          ["unreachable"], ["buffer"], ["race"], ["spawn-sync"] *)
+          ["unreachable"], ["buffer"], ["race"], ["spawn-sync"],
+          ["timing"] *)
   where : string;  (** task or function the diagnostic refers to *)
+  node : int option;  (** graph node the diagnostic anchors to *)
   msg : string;
 }
 
-let error ~code ~where fmt =
-  Fmt.kstr (fun msg -> { sev = Error; code; where; msg }) fmt
+let error ?node ~code ~where fmt =
+  Fmt.kstr (fun msg -> { sev = Error; code; where; node; msg }) fmt
 
-let warning ~code ~where fmt =
-  Fmt.kstr (fun msg -> { sev = Warning; code; where; msg }) fmt
+let warning ?node ~code ~where fmt =
+  Fmt.kstr (fun msg -> { sev = Warning; code; where; node; msg }) fmt
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
 let pp ppf (d : t) =
-  Fmt.pf ppf "%s: %s: [%s] %s"
-    (severity_to_string d.sev) d.where d.code d.msg
+  let pp_node ppf = function
+    | None -> ()
+    | Some n -> Fmt.pf ppf ":n%d" n
+  in
+  Fmt.pf ppf "%s: %s%a: [%s] %s"
+    (severity_to_string d.sev) d.where pp_node d.node d.code d.msg
 
 let is_error (d : t) = d.sev = Error
 let errors (ds : t list) = List.filter is_error ds
 let has_errors (ds : t list) = List.exists is_error ds
 
-(** Errors first, then warnings; stable within a severity class. *)
+(** Total deterministic order — (severity, task, node, code, text) —
+    so driver output and golden files are byte-stable regardless of
+    analysis traversal order. *)
 let sort (ds : t list) : t list =
   let rank d = match d.sev with Error -> 0 | Warning -> 1 in
-  List.stable_sort (fun a b -> compare (rank a) (rank b)) ds
+  let key d = (rank d, d.where, d.node, d.code, d.msg) in
+  List.stable_sort (fun a b -> compare (key a) (key b)) ds
 
 (** Drop diagnostics that render identically (analyses over many
     sibling pairs can derive the same fact repeatedly). *)
@@ -45,7 +54,7 @@ let dedup (ds : t list) : t list =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun d ->
-      let k = (d.sev, d.code, d.where, d.msg) in
+      let k = (d.sev, d.code, d.where, d.node, d.msg) in
       if Hashtbl.mem seen k then false
       else begin
         Hashtbl.replace seen k ();

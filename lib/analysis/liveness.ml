@@ -332,7 +332,7 @@ let buffer_warnings (c : ctx) : Diag.t list =
         | None -> None
         | Some (excess, a, pi, pj, deep, shallow) ->
           Some
-            (Diag.warning ~code:"buffer" ~where:c.t.tname
+            (Diag.warning ~node:n.nid ~code:"buffer" ~where:c.t.tname
                "join n%d (%s): paths from n%d reconverge with depth %d on \
                 port %d but only %d slot(s) of buffering on the depth-%d \
                 path into port %d; the short path can stall %d token(s) \
@@ -357,7 +357,8 @@ let check_task (t : G.task) : Diag.t list =
     List.map
       (fun scc ->
         let scc = List.sort compare scc in
-        Diag.error ~code:"deadlock" ~where:t.tname
+        Diag.error ?node:(List.nth_opt scc 0) ~code:"deadlock"
+          ~where:t.tname
           "zero-token cycle through %s: every edge needs a token its \
            consumer can only produce after firing — the ring can never \
            start"
@@ -374,7 +375,7 @@ let check_task (t : G.task) : Diag.t list =
         if Hashtbl.mem reach n.nid || Hashtbl.mem in_cycle n.nid then None
         else
           Some
-            (Diag.warning ~code:"unreachable" ~where:t.tname
+            (Diag.warning ~node:n.nid ~code:"unreachable" ~where:t.tname
                "n%d (%s) can never receive a token: no path from a \
                 live-in, immediate or primed edge reaches it"
                n.nid
@@ -399,7 +400,7 @@ let check_task (t : G.task) : Diag.t list =
         if not is_frontier then None
         else if Hashtbl.mem to_liveout n.nid then
           Some
-            (Diag.error ~code:"starved" ~where:t.tname
+            (Diag.error ~node:n.nid ~code:"starved" ~where:t.tname
                "n%d (%s) can never fire — an upstream steer's immediate \
                 predicate routes every token away — and a live-out \
                 depends on it"
@@ -407,7 +408,7 @@ let check_task (t : G.task) : Diag.t list =
                (G.kind_to_string n.kind))
         else
           Some
-            (Diag.warning ~code:"starved" ~where:t.tname
+            (Diag.warning ~node:n.nid ~code:"starved" ~where:t.tname
                "n%d (%s) can never fire: every token is routed away \
                 upstream" n.nid
                (G.kind_to_string n.kind)))

@@ -1,0 +1,183 @@
+(** Maximum cycle ratio over timed token-flow graphs.
+
+    A task's steady-state throughput is governed by its cycles: a
+    directed cycle [C] carrying [M(C)] resting tokens and accumulating
+    [W(C)] cycles of latency sustains at most one wave per
+    [W(C)/M(C)] cycles — each token must traverse the whole ring
+    between consecutive firings of any node on it.  The {e maximum
+    cycle ratio} [max_C W(C)/M(C)] is therefore a lower bound on the
+    initiation interval, and the cycle attaining it is the critical
+    (binding) cycle — the structure Dynamatic-style buffer sizers
+    grow.
+
+    The computation must be {e exactly} sound: the timing oracle's
+    contract is [bound <= measured] on every workload, so a float
+    epsilon is not acceptable.  We use Dinkelbach/Lawler iteration
+    over exact integer arithmetic: starting from any concrete cycle's
+    ratio [p/q], search for a cycle with [q*W - p*M > 0] (a positive
+    cycle under integer edge costs — Bellman-Ford longest-path with
+    predecessor extraction), adopt its exact ratio, and repeat.  The
+    ratio strictly increases through the finitely many simple-cycle
+    ratios, so the loop terminates; and whatever cycle we end on is a
+    {e real} cycle of the graph, so its exact rational ratio is a
+    sound bound even if an adversarial graph ended the search early.
+
+    Zero-token cycles ([M(C) = 0]) have infinite ratio — the ring can
+    never start.  They are detected first and reported as
+    {!Unbounded}; the liveness analysis flags the same structure as a
+    deadlock error. *)
+
+(** One edge of the abstracted graph.  ['a] is caller-owned
+    provenance (which μIR edge/node/resource produced this
+    constraint), threaded through untouched so the critical cycle can
+    be reported in source terms. *)
+type 'a edge = {
+  esrc : int;  (** node index, [0 .. n-1] *)
+  edst : int;
+  ew : int;    (** latency weight, [>= 0] *)
+  em : int;    (** resting tokens (marking), [>= 0] *)
+  etag : 'a;
+}
+
+type 'a result =
+  | Acyclic  (** no directed cycle: throughput unconstrained by rings *)
+  | Unbounded of 'a edge list
+      (** a zero-token cycle, in traversal order: deadlock *)
+  | Ratio of { num : int; den : int; cyc : 'a edge list }
+      (** max cycle ratio [num/den] in lowest terms, attained by the
+          simple cycle [cyc] (edges in traversal order) *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(** [a/b < c/d] over non-negative rationals with positive
+    denominators, exactly. *)
+let ratio_lt (a, b) (c, d) = a * d < c * b
+
+(* ------------------------------------------------------------------ *)
+(* Cycle search primitives                                             *)
+
+(* Iterative DFS for any cycle of the subgraph [keep]; returns the
+   cycle's edges in traversal order.  Gray nodes live on an explicit
+   stack of (node, remaining out-edges); hitting a gray node closes a
+   cycle which we slice off the path stack. *)
+let find_cycle (n : int) (edges : 'a edge list) (keep : 'a edge -> bool)
+    : 'a edge list option =
+  let outs = Array.make n [] in
+  List.iter
+    (fun e -> if keep e then outs.(e.esrc) <- e :: outs.(e.esrc))
+    edges;
+  Array.iteri (fun i l -> outs.(i) <- List.rev l) outs;
+  let color = Array.make n 0 in (* 0 white, 1 gray, 2 black *)
+  let found = ref None in
+  let rec visit path v =
+    color.(v) <- 1;
+    let rec step = function
+      | [] -> ()
+      | e :: rest ->
+        (match color.(e.edst) with
+        | 1 ->
+          (* back edge: the cycle is [e] plus the path suffix from
+             [e.edst] down to [v] *)
+          let rec suffix acc = function
+            | [] -> acc
+            | p :: tl ->
+              if p.esrc = e.edst then p :: acc
+              else suffix (p :: acc) tl
+          in
+          found := Some (suffix [ e ] path)
+        | 0 -> visit (e :: path) e.edst
+        | _ -> ());
+        if !found = None then step rest
+    in
+    step outs.(v);
+    if !found = None then color.(v) <- 2
+  in
+  let v = ref 0 in
+  while !found = None && !v < n do
+    if color.(!v) = 0 then visit [] !v;
+    incr v
+  done;
+  !found
+
+(* Longest-path Bellman-Ford under cost [q*ew - p*em], all distances
+   seeded 0 (virtual source to every node).  If an edge still relaxes
+   after [n] passes a positive cycle exists; walk the predecessor
+   graph [n] steps back from it to land on the cycle, then collect
+   until a node repeats.  Any predecessor-graph cycle at that point is
+   positive (the longest-path mirror of the classical negative-cycle
+   argument). *)
+let positive_cycle (n : int) (edges : 'a edge array) ~(p : int) ~(q : int)
+    : 'a edge list option =
+  let dist = Array.make n 0 in
+  let pred = Array.make n None in
+  let cost (e : 'a edge) = (q * e.ew) - (p * e.em) in
+  let relax_pass record =
+    let changed = ref false in
+    Array.iter
+      (fun e ->
+        let d = dist.(e.esrc) + cost e in
+        if d > dist.(e.edst) then begin
+          dist.(e.edst) <- d;
+          pred.(e.edst) <- Some e;
+          changed := true;
+          match record with None -> () | Some r -> r := Some e
+        end)
+      edges;
+    !changed
+  in
+  let pass = ref 0 in
+  while !pass < n && relax_pass None do incr pass done;
+  if !pass < n then None (* converged: no positive cycle *)
+  else begin
+    let witness = ref None in
+    if not (relax_pass (Some witness)) then None
+    else begin
+      (* Walk back n steps to guarantee we sit on the cycle itself. *)
+      let v = ref (Option.get !witness).edst in
+      for _ = 1 to n do
+        match pred.(!v) with Some e -> v := e.esrc | None -> ()
+      done;
+      let start = !v in
+      let rec collect acc v =
+        match pred.(v) with
+        | None -> acc (* unreachable: every walked node has a pred *)
+        | Some e ->
+          if e.esrc = start then e :: acc else collect (e :: acc) e.esrc
+      in
+      Some (collect [] start)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let cycle_sums (cyc : 'a edge list) : int * int =
+  List.fold_left (fun (w, m) e -> (w + e.ew, m + e.em)) (0, 0) cyc
+
+(** Maximum cycle ratio of a graph on nodes [0 .. n-1]. *)
+let max_cycle_ratio (n : int) (edges : 'a edge list) : 'a result =
+  match find_cycle n edges (fun e -> e.em = 0) with
+  | Some cyc -> Unbounded cyc
+  | None -> (
+    match find_cycle n edges (fun _ -> true) with
+    | None -> Acyclic
+    | Some cyc0 ->
+      let arr = Array.of_list edges in
+      let rec improve (best : 'a edge list) =
+        let w, m = cycle_sums best in
+        (* m > 0: zero-token cycles were excluded above *)
+        match positive_cycle n arr ~p:w ~q:m with
+        | None -> best
+        | Some cyc ->
+          let w', m' = cycle_sums cyc in
+          if m' > 0 && ratio_lt (w, m) (w', m') then improve cyc
+          else best (* no strict progress: [best] stays sound *)
+      in
+      let cyc = improve cyc0 in
+      let w, m = cycle_sums cyc in
+      let g = max 1 (gcd w m) in
+      Ratio { num = w / g; den = m / g; cyc })
+
+(** [ceil (num * mult / den)] — the II bound scaled to a wave count. *)
+let scale_ratio ~(num : int) ~(den : int) (mult : int) : int =
+  if den = 0 then 0 else ((num * mult) + den - 1) / den

@@ -61,17 +61,35 @@ type eval = {
   e_brams : int;
   e_mhz : float;
   e_asic_area : float;     (** ASIC logic area, 10^3 µm² at 28 nm *)
+  e_bound : int;           (** static cycle lower bound ({!Muir_analysis.Timing}) *)
   e_cycles : int option;   (** [None] — pruned before simulation *)
   e_us : float option;     (** cycles at the modeled FPGA clock *)
+  e_tpruned : bool;        (** pruned by the timing bound, not area *)
   e_hint : hint option;    (** greedy guidance, from the counter bank *)
 }
 
 let pruned (e : eval) : bool = e.e_cycles = None
 
+(** Does an already-simulated point [(c0, a0)] make simulating a
+    candidate with static cycle bound [>= b] and area [a] pointless?
+    Strict domination only: the candidate's true cycles are [>= b], so
+    it can neither enter the frontier (some point is no worse on both
+    axes and strictly better on one, and wins the [(cycles, alms,
+    key)] sort ties) nor become [best].  Exact ties are never pruned —
+    the frontier and best stay byte-identical with pruning off. *)
+let timing_dominates ~(bound : int) ~(alms : int) ((c0, a0) : int * int) :
+    bool =
+  (c0 <= bound && a0 < alms) || (c0 < bound && a0 <= alms)
+
 (** Evaluate one configuration from scratch: compile, build, optimize,
-    model — and, if the area budget allows, simulate. *)
+    model — and, if neither the area budget nor an incumbent's timing
+    domination rules it out, simulate.  [dominators] are
+    already-simulated [(cycles, alms)] points (the coordinator passes
+    the current frontier).  Every simulated evaluation checks the
+    static bound against the measured cycles — the analysis's
+    soundness contract is enforced on every run, not only in tests. *)
 let evaluate ~(subject : subject) ~(area_budget : int option)
-    (cfg : Config.t) : eval =
+    ~(dominators : (int * int) list) (cfg : Config.t) : eval =
   let key = Config.key cfg in
   let p = subject.s_program () in
   let c = Muir_core.Build.circuit ~name:subject.s_name p in
@@ -79,36 +97,45 @@ let evaluate ~(subject : subject) ~(area_budget : int option)
   let d = Muir_rtl.Lower.design c in
   let f = Muir_model.Model.fpga d in
   let a = Muir_model.Model.asic d in
+  let bound = Muir_analysis.Timing.bound_cycles c in
   let base =
     { e_key = key; e_cfg = cfg; e_alms = f.fr_alms; e_brams = f.fr_brams;
-      e_mhz = f.fr_mhz; e_asic_area = a.ar_area; e_cycles = None;
-      e_us = None; e_hint = None }
+      e_mhz = f.fr_mhz; e_asic_area = a.ar_area; e_bound = bound;
+      e_cycles = None; e_us = None; e_tpruned = false; e_hint = None }
   in
   let over =
     match area_budget with Some b -> f.fr_alms > b | None -> false
   in
   if over then base
+  else if
+    List.exists (timing_dominates ~bound ~alms:f.fr_alms) dominators
+  then { base with e_tpruned = true }
   else begin
     let r = Muir_sim.Sim.run c in
     let cycles = r.Muir_sim.Sim.stats.total_cycles in
+    if bound > cycles then
+      invalid_arg
+        (Fmt.str
+           "timing unsound on %s (%s): static bound %d > measured %d \
+            cycles"
+           subject.s_name (Config.label cfg) bound cycles);
     (* The hint comes from the always-on counter bank — every
        simulated evaluation gets one, no event ring attached. *)
     let prof = Muir_trace.Profile.of_run c r.Muir_sim.Sim.counters in
-    let rec first = function
-      | [] -> None
-      | (s : Muir_trace.Profile.struct_row) :: tl ->
-        if s.s_stalls <= 0 then first tl
-        else (
-          match s.s_ref with
-          | G.Rqueue _ -> Some Widen_tiles
-          | G.Rstruct sid -> (
-            match (G.structure c sid).shape with
-            | G.Cache _ | G.Scratchpad _ -> Some Widen_banks))
+    let hint =
+      match Muir_trace.Profile.dominant_struct prof with
+      | None -> None
+      | Some s -> (
+        match s.s_ref with
+        | G.Rqueue _ -> Some Widen_tiles
+        | G.Rstruct sid -> (
+          match (G.structure c sid).shape with
+          | G.Cache _ | G.Scratchpad _ -> Some Widen_banks))
     in
     { base with
       e_cycles = Some cycles;
       e_us = Some (float_of_int cycles /. f.fr_mhz);
-      e_hint = first prof.Muir_trace.Profile.p_structs }
+      e_hint = hint }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -193,9 +220,17 @@ type t = {
   x_fresh_evals : int;     (** configurations evaluated this run *)
   x_fresh_sims : int;      (** ... of which reached the simulator *)
   x_pruned : int;          (** ... of which the area model pruned *)
+  x_timing_pruned : int;   (** ... of which the timing bound pruned *)
   x_cache_hits : int;      (** evaluations answered from the cache *)
   x_cache : Cache.stats;
 }
+
+let rec split_at n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: tl ->
+    let a, b = split_at (n - 1) tl in
+    (x :: a, b)
 
 (* Deterministic diversification for the greedy search: a 63-bit LCG
    (Knuth-style constants), never the global Random state. *)
@@ -203,11 +238,11 @@ let lcg (s : int) : int =
   ((s * 0x2545F4914F6CDD1D) + 0x9E3779B9) land max_int
 
 let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
-    ?(seed = 0) ?(cache : eval Cache.t option) ?grid (subject : subject)
-    : t =
+    ?(timing_prune = false) ?(seed = 0) ?(cache : eval Cache.t option)
+    ?grid (subject : subject) : t =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let fresh_evals = ref 0 and fresh_sims = ref 0 in
-  let prune_count = ref 0 and hits = ref 0 in
+  let prune_count = ref 0 and tprune_count = ref 0 and hits = ref 0 in
   let seen = Hashtbl.create 64 in
   let order = ref [] in
   let record ev =
@@ -246,16 +281,41 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
     in
     List.iter record cached;
     let fresh = List.filteri (fun i _ -> i < remaining ()) fresh in
-    let results =
-      Pool.map ~jobs (evaluate ~subject ~area_budget) fresh
+    (* Fixed-size chunks so the timing filter sees the same incumbent
+       frontier whatever [--jobs] is: dominators are recomputed in
+       this domain between chunks, never inside workers. *)
+    let rec by_chunk todo =
+      match todo with
+      | [] -> ()
+      | _ ->
+        let chunk, rest = split_at 8 todo in
+        let dominators =
+          if not timing_prune then []
+          else
+            List.filter_map
+              (fun e ->
+                match e.e_cycles with
+                | Some c -> Some (c, e.e_alms)
+                | None -> None)
+              (frontier (List.rev !order))
+        in
+        let results =
+          Pool.map ~jobs (evaluate ~subject ~area_budget ~dominators) chunk
+        in
+        List.iter
+          (fun ev ->
+            (* A timing-pruned result is relative to this run's
+               incumbents — never memoize it. *)
+            if not ev.e_tpruned then Cache.add cache ev.e_key ev;
+            incr fresh_evals;
+            if ev.e_tpruned then incr tprune_count
+            else if pruned ev then incr prune_count
+            else incr fresh_sims;
+            record ev)
+          results;
+        by_chunk rest
     in
-    List.iter
-      (fun ev ->
-        Cache.add cache ev.e_key ev;
-        incr fresh_evals;
-        if pruned ev then incr prune_count else incr fresh_sims;
-        record ev)
-      results
+    by_chunk fresh
   in
   (match (strategy, grid) with
   | Grid, g ->
@@ -322,6 +382,7 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
     x_fresh_evals = !fresh_evals;
     x_fresh_sims = !fresh_sims;
     x_pruned = !prune_count;
+    x_timing_pruned = !tprune_count;
     x_cache_hits = !hits;
     x_cache = Cache.stats cache }
 
@@ -334,10 +395,11 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
 let pp_result ppf (t : t) =
   Fmt.pf ppf
     "design space of %s (%s): %d configurations, %d simulated, %d \
-     pruned by the area model, %d from cache@."
+     pruned by the area model, %d by the timing bound, %d from cache@."
     t.x_subject
     (strategy_to_string t.x_strategy)
-    (List.length t.x_evals) t.x_fresh_sims t.x_pruned t.x_cache_hits;
+    (List.length t.x_evals) t.x_fresh_sims t.x_pruned t.x_timing_pruned
+    t.x_cache_hits;
   Fmt.pf ppf "@.  %10s %8s %8s %6s  %s@." "cycles" "ALMs" "kum2" "MHz"
     "config";
   List.iter
@@ -363,7 +425,8 @@ let eval_to_json (e : eval) : string =
   let cfg = e.e_cfg in
   Fmt.str
     "{\"config\":\"%s\",\"key\":\"%s\",\"stack\":\"%s\",\"tiles\":%d,\
-     \"banks\":%d,\"off\":[%s],\"pruned\":%b,\"cycles\":%s,\"alms\":%d,\
+     \"banks\":%d,\"off\":[%s],\"pruned\":%b,\"timing_pruned\":%b,\
+     \"bound\":%d,\"cycles\":%s,\"alms\":%d,\
      \"brams\":%d,\"mhz\":%.2f,\"asic_kum2\":%.3f,\"us\":%s}"
     (json_escape (Config.label cfg))
     (json_escape e.e_key)
@@ -371,7 +434,7 @@ let eval_to_json (e : eval) : string =
     cfg.tiles cfg.banks
     (String.concat ","
        (List.map (fun o -> "\"" ^ json_escape o ^ "\"") cfg.off))
-    (pruned e)
+    (pruned e) e.e_tpruned e.e_bound
     (match e.e_cycles with Some c -> string_of_int c | None -> "null")
     e.e_alms e.e_brams e.e_mhz e.e_asic_area
     (match e.e_us with Some u -> Fmt.str "%.4f" u | None -> "null")
@@ -390,11 +453,12 @@ let to_json (t : t) : string =
   Fmt.str
     "{\"provenance\":%s,\"subject\":\"%s\",\"strategy\":\"%s\",\"evals\":%s,\
      \"frontier\":%s,\"best\":%s,\"fresh_evals\":%d,\"fresh_sims\":%d,\
-     \"pruned\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d}}"
+     \"pruned\":%d,\"timing_pruned\":%d,\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d}}"
     prov
     (json_escape t.x_subject)
     (strategy_to_string t.x_strategy)
     (list t.x_evals) (list t.x_frontier)
     (match t.x_best with Some b -> eval_to_json b | None -> "null")
-    t.x_fresh_evals t.x_fresh_sims t.x_pruned t.x_cache.c_hits
-    t.x_cache.c_misses t.x_cache.c_entries
+    t.x_fresh_evals t.x_fresh_sims t.x_pruned t.x_timing_pruned
+    t.x_cache.c_hits t.x_cache.c_misses t.x_cache.c_entries

@@ -50,6 +50,135 @@ let analyze (f : Func.t) : natural_loop list =
   Hashtbl.fold (fun _ lp acc -> lp :: acc) by_header []
   |> List.sort (fun a b -> compare a.header b.header)
 
+(* ------------------------------------------------------------------ *)
+(* Trip counts                                                         *)
+
+(** Statically-known trip count of [lp]: the number of body
+    executions, for the common counted shape
+
+    {v  header:  %i = phi [preheader: C_init] [latch: %i']
+                 br (icmp op %iv, C_n), ...   ;; one arm exits
+        ...      %i' = add/sub %i, C_step  v}
+
+    The recurrence is {e iterated numerically} (Int64, budgeted) from
+    the constant initial value rather than solved in closed form, so
+    every icmp/step-sign combination — including overflow-free
+    non-termination — is decided uniformly; loops that would run past
+    the budget (1,000,000 iterations) are reported unknown.
+
+    Requirements checked before trusting the recurrence: the loop has
+    a single exit edge (header → [lp.exit]; every non-header body
+    block branches only within the body), the compared register is
+    the induction phi itself (or its header-resident increment,
+    evaluated one step ahead), and init/step/limit are integer
+    constants.  Anything else returns [None] — the analysis's callers
+    treat unknown as "no static bound", never as zero. *)
+let trip_count (f : Func.t) (lp : Func.loop_info) : int option =
+  let open Instr in
+  let ( let* ) = Option.bind in
+  let* header =
+    List.find_opt (fun (b : Func.block) -> b.label = lp.header) f.blocks
+  in
+  (* Single-exit shape: only the header may leave the body. *)
+  let body_ok =
+    List.for_all
+      (fun (b : Func.block) ->
+        (not (List.mem b.label lp.body))
+        || b.label = lp.header
+        || List.for_all (fun s -> List.mem s lp.body) (Func.successors b))
+      f.blocks
+  in
+  let* () = if body_ok then Some () else None in
+  let* cond, t_tgt, f_tgt =
+    match header.term with
+    | CondBr (c, t, fl) -> Some (c, t, fl)
+    | _ -> None
+  in
+  let exits_then = t_tgt = lp.exit and exits_else = f_tgt = lp.exit in
+  let* () = if exits_then <> exits_else then Some () else None in
+  let* cond_reg = op_reg cond in
+  let* cmp = Func.find_instr f cond_reg in
+  let* op, lhs, rhs =
+    match cmp.kind with
+    | Icmp (op, a, b) -> Some (op, a, b)
+    | _ -> None
+  in
+  (* One side a constant, the other the induction value. *)
+  let* iv_opnd, limit, iv_on_left =
+    match (lhs, rhs) with
+    | Reg r, CInt k -> Some (r, k, true)
+    | CInt k, Reg r -> Some (r, k, false)
+    | _ -> None
+  in
+  (* Resolve the induction phi: the compared register is the phi, or a
+     header-resident add/sub of the phi (compared one step ahead). *)
+  let phi_of r =
+    let* i = Func.find_instr f r in
+    match i.kind with
+    | Phi _ when List.exists (fun j -> j.id = r) header.instrs -> Some r
+    | _ -> None
+  in
+  let step_of (phi : reg) (back : reg) : int64 option =
+    let* i = Func.find_instr f back in
+    match i.kind with
+    | Bin (Add, Reg r, CInt s) when r = phi -> Some s
+    | Bin (Add, CInt s, Reg r) when r = phi -> Some s
+    | Bin (Sub, Reg r, CInt s) when r = phi -> Some (Int64.neg s)
+    | _ -> None
+  in
+  let* phi_reg, shifted =
+    match phi_of iv_opnd with
+    | Some r -> Some (r, false)
+    | None -> (
+      (* compared register computed in the header from the phi *)
+      let* i = Func.find_instr f iv_opnd in
+      let* () =
+        if List.exists (fun j -> j.id = iv_opnd) header.instrs then Some ()
+        else None
+      in
+      match i.kind with
+      | Bin ((Add | Sub), Reg r, CInt _) | Bin (Add, CInt _, Reg r) -> (
+        match phi_of r with Some p -> Some (p, true) | None -> None)
+      | _ -> None)
+  in
+  let* phi = Func.find_instr f phi_reg in
+  let* incomings = match phi.kind with Phi ins -> Some ins | _ -> None in
+  let* init =
+    match List.assoc_opt lp.preheader incomings with
+    | Some (CInt v) -> Some v
+    | _ -> None
+  in
+  let* back_reg =
+    match List.assoc_opt lp.latch incomings with
+    | Some (Reg r) -> Some r
+    | _ -> None
+  in
+  let* step = step_of phi_reg back_reg in
+  let* step_cmp =
+    if not shifted then Some 0L
+    else step_of phi_reg iv_opnd (* value at the compare, one step on *)
+  in
+  let eval op a b =
+    let c = Int64.compare a b in
+    match op with
+    | Eq -> c = 0 | Ne -> c <> 0 | Slt -> c < 0
+    | Sle -> c <= 0 | Sgt -> c > 0 | Sge -> c >= 0
+  in
+  let budget = 1_000_000 in
+  let rec iterate (x : int64) (trips : int) : int option =
+    if trips > budget then None
+    else begin
+      let v = Int64.add x step_cmp in
+      let taken =
+        if iv_on_left then eval op v limit else eval op limit v
+      in
+      let target = if taken then t_tgt else f_tgt in
+      if target = lp.exit then Some trips
+      else iterate (Int64.add x step) (trips + 1)
+    end
+  in
+  iterate init 0
+
 (** Check that the recorded metadata matches the CFG-derived loops:
     same headers, each recorded body a superset of the natural body,
     and each latch is a recorded latch.  Returns an error description

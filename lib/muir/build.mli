@@ -3,6 +3,11 @@
     loop, each lowered to a predicated hyperblock dataflow, plus the
     default shared-cache memory system. *)
 
+val task_of_loop_name : Muir_ir.Func.t -> Muir_ir.Func.loop_info -> string
+(** The task name the builder assigns to a loop of [f] — the key that
+    lets analyses relate {!Muir_ir.Func.loop_info} facts (trip counts,
+    parallel markers) back to circuit tasks. *)
+
 val circuit :
   ?entry:string -> ?name:string -> Muir_ir.Program.t -> Graph.circuit
 (** Build the baseline circuit for [prog], rooted at [entry]

@@ -135,6 +135,14 @@ let structs_of_rows (c : G.circuit) (rows : row list) : struct_row list =
     tbl []
   |> List.sort (fun a b -> compare b.s_stalls a.s_stalls)
 
+(** The structure the run blames most: the first row with any
+    attributed stalls (rows are sorted by stalls, descending).  [None]
+    when nothing stalled — the design is dependence-bound.  This is
+    the measured counterpart of the static timing analysis's binding
+    resource; drivers rank the static suggestion against it. *)
+let dominant_struct (p : t) : struct_row option =
+  List.find_opt (fun s -> s.s_stalls > 0) p.p_structs
+
 (** Fraction of all node-lifetime cycles stalled on structure [name];
     0 if the structure is unknown or never charged. *)
 let struct_share (p : t) (name : string) : float =
