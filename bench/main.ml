@@ -796,6 +796,10 @@ let explore () =
       Fmt.pr
         "re-exploration    %d cache hits, 0 fresh simulations@."
         again.x_cache_hits;
+      (* The shared memo cache across all three passes: the hit/miss/
+         entry counters the explorer reports in its JSON. *)
+      Fmt.pr "shared cache      %a@." Muir_dse.Cache.pp_stats
+        (Muir_dse.Cache.stats cache);
       (* Pass 4: the timing admission filter must be transparent — a
          pruned run from a cold cache reproduces the same frontier,
          byte for byte, never simulating more. *)
@@ -864,6 +868,129 @@ let explore () =
     "timing filter: %d -> %d simulations (%d rejected on static bound), \
      identical frontier@."
     plain.x_fresh_sims pruned.x_fresh_sims pruned.x_timing_pruned
+
+(* ------------------------------------------------------------------ *)
+(* The serve daemon: cold vs warm batch latency over the suite          *)
+
+let serve_experiment ?json () =
+  let module S = Muir_serve.Server in
+  let module C = Muir_serve.Client in
+  let module P = Muir_serve.Proto in
+  let module J = Muir_trace.Json in
+  let module R = Muir_trace.Report in
+  header
+    "Serve daemon: cold vs warm batch latency and requests/sec over the \
+     workload suite (persistent content-addressed cache)";
+  let socket = Filename.temp_file "muir-serve" ".sock" in
+  Sys.remove socket;
+  let cache_dir = Filename.temp_file "muir-rcache" ".d" in
+  Sys.remove cache_dir;
+  let jobs = max 1 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let start () =
+    let t = S.create ~cache_dir ~jobs () in
+    let d = Domain.spawn (fun () -> S.serve ~socket t) in
+    let rec wait n =
+      if Sys.file_exists socket then ()
+      else if n = 0 then failwith "serve: daemon socket never appeared"
+      else begin
+        Unix.sleepf 0.05;
+        wait (n - 1)
+      end
+    in
+    wait 100;
+    d
+  in
+  (* Every workload at baseline and under the "best" registry stack:
+     the same suite shape as the regression baseline. *)
+  let items =
+    List.concat (List.mapi
+      (fun i (w : W.t) ->
+        List.mapi
+          (fun j stack ->
+            { P.it_id = (2 * i) + j; it_src = P.Workload w.wname;
+              it_stack = stack; it_tiles = None; it_banks = None;
+              it_off = []; it_deadline_ms = None; it_jobs = 1 })
+          [ "baseline"; "best" ])
+      W.all)
+  in
+  let round label =
+    C.with_connection socket (fun fd ->
+        let t0 = Unix.gettimeofday () in
+        let resp = C.rpc fd (P.Run items) in
+        let wall = Unix.gettimeofday () -. t0 in
+        match resp with
+        | P.Results { results; fresh; cached; errors } ->
+          if errors > 0 then
+            failwith (Fmt.str "serve: %s round had %d error(s)" label errors);
+          Fmt.pr
+            "%-8s %3d items in %7.3fs  (%5.1f items/s, %d fresh, %d \
+             cached)@."
+            label (List.length results) wall
+            (float_of_int (List.length results) /. wall)
+            fresh cached;
+          (wall, results, fresh)
+        | P.Error_r { msg; _ } -> failwith ("serve: rejected: " ^ msg)
+        | _ -> failwith "serve: unexpected response")
+  in
+  let reports (r : P.result_ list) =
+    List.map
+      (fun (x : P.result_) ->
+        match x.rs_outcome with
+        | P.Ok_ { report; _ } -> J.to_string report
+        | P.Err _ -> failwith "serve: error outcome in checked round")
+      r
+  in
+  let d = start () in
+  let cold_wall, cold_results, _ = round "cold" in
+  let warm_wall, warm_results, warm_fresh = round "warm" in
+  if warm_fresh <> 0 then
+    failwith (Fmt.str "serve: warm round ran %d fresh simulations" warm_fresh);
+  if reports cold_results <> reports warm_results then
+    failwith "serve: warm reports diverge from cold reports";
+  C.with_connection socket (fun fd -> ignore (C.rpc fd P.Shutdown));
+  ignore (Domain.join d : S.drain_summary);
+  (* Restart on the same cache directory: the disk store alone must
+     answer the whole batch — zero fresh simulations across restarts. *)
+  let d2 = start () in
+  let restart_wall, restart_results, restart_fresh = round "restart" in
+  if restart_fresh <> 0 then
+    failwith
+      (Fmt.str "serve: restarted daemon ran %d fresh simulations"
+         restart_fresh);
+  if reports cold_results <> reports restart_results then
+    failwith "serve: post-restart reports diverge from cold reports";
+  C.with_connection socket (fun fd -> ignore (C.rpc fd P.Shutdown));
+  ignore (Domain.join d2 : S.drain_summary);
+  Fmt.pr
+    "warm/cold speedup %.1fx; restart warms from disk at %.1fx (%d \
+     entries)@."
+    (cold_wall /. warm_wall)
+    (cold_wall /. restart_wall)
+    (List.length items);
+  (match json with
+  | None -> ()
+  | Some path ->
+    (* The standard suite shape, built from the daemon's own responses:
+       interchangeable with `bench --json` output downstream. *)
+    let runs =
+      List.map
+        (fun (x : P.result_) ->
+          match x.rs_outcome with
+          | P.Ok_ { report; _ } -> R.run_of_json (J.get "run" report)
+          | P.Err _ -> assert false)
+        cold_results
+    in
+    let suite = { R.su_provenance = R.provenance (); su_runs = runs } in
+    let oc = open_out path in
+    output_string oc (R.suite_to_json suite);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "wrote %d runs to %s@." (List.length runs) path);
+  (try Sys.remove socket with Sys_error _ -> ());
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+    (try Sys.readdir cache_dir with Sys_error _ -> [||]);
+  try Unix.rmdir cache_dir with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks (one per table/figure kernel)    *)
@@ -1028,6 +1155,7 @@ let experiments : (string * (unit -> unit)) list =
     ("profile", profile);
     ("timing", timing);
     ("explore", explore);
+    ("serve", fun () -> serve_experiment ());
     ("bechamel", bechamel) ]
 
 let run_experiments args =
@@ -1074,6 +1202,14 @@ let () =
         exit 2
     in
     parse 1 None rest
+  | "serve" :: rest -> (
+    (* serve [--json PATH] *)
+    match rest with
+    | [] -> serve_experiment ()
+    | [ "--json"; path ] -> serve_experiment ~json:path ()
+    | a :: _ ->
+      Fmt.epr "usage: bench serve [--json PATH] (got %S)@." a;
+      exit 2)
   | [ "--json"; path ] -> suite_json path
   | "--json" :: _ ->
     Fmt.epr "usage: bench --json REPORT.json@.";

@@ -16,6 +16,7 @@
    the stack list in the help text derives from that registry. *)
 
 open Cmdliner
+module Pipeline = Muir_pipeline.Pipeline
 
 let read_file path =
   let ic = open_in_bin path in
@@ -98,13 +99,30 @@ let passes_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
-let optimized_circuit ?(unroll = false) path passes =
-  let p = compile path in
-  if unroll then ignore (Muir_ir.Unroll.unroll p);
-  let c = Muir_core.Build.circuit p in
-  let reports = Muir_opt.Pass.run_all (List.concat passes) c in
-  List.iter (fun r -> Fmt.epr "%a@." Muir_opt.Pass.pp_report r) reports;
-  (p, c)
+(* All circuit-producing commands go through the staged pipeline
+   (lib/muir/pipeline.ml) — the same stages the explorer and the serve
+   daemon run.  File targets keep their historical behavior: no
+   circuit name override, pass reports echoed to stderr. *)
+let build_file ?(unroll = false) path passes : Pipeline.built =
+  let b =
+    Pipeline.build ~unroll ~passes:(List.concat passes)
+      (Pipeline.of_file path)
+  in
+  List.iter (fun r -> Fmt.epr "%a@." Muir_opt.Pass.pp_report r) b.p_reports;
+  b
+
+let optimized_circuit ?unroll path passes =
+  let b = build_file ?unroll path passes in
+  (b.Pipeline.p_program, b.Pipeline.p_circuit)
+
+(* check/profile accept either a source file or a bundled workload
+   name; workload targets are built under their bundled name and do
+   not echo pass reports. *)
+let target_built ?unroll target passes : Pipeline.built =
+  if Sys.file_exists target then build_file ?unroll target passes
+  else
+    Pipeline.build ~passes:(List.concat passes)
+      (Pipeline.of_workload_name target)
 
 (* --- commands ------------------------------------------------------ *)
 
@@ -267,17 +285,8 @@ let check_cmd =
   in
   let run target passes unroll timing json strict =
     handle_frontend (fun () ->
-        let c =
-          if Sys.file_exists target then
-            snd (optimized_circuit ~unroll target passes)
-          else begin
-            let w = Muir_workloads.Workloads.find target in
-            let p = Muir_workloads.Workloads.program w in
-            let c = Muir_core.Build.circuit ~name:w.wname p in
-            let _ = Muir_opt.Pass.run_all (List.concat passes) c in
-            c
-          end
-        in
+        let b = target_built ~unroll target passes in
+        let c = b.Pipeline.p_circuit in
         let diags = Muir_analysis.Check.circuit c in
         List.iter (fun d -> Fmt.pr "%a@." Muir_analysis.Diag.pp d) diags;
         let nerr = List.length (Muir_analysis.Diag.errors diags) in
@@ -294,7 +303,7 @@ let check_cmd =
             (* Rank the static suggestions against measured stalls —
                only on a clean circuit (a deadlocked one won't finish). *)
             if nerr = 0 then begin
-              let r = Muir_sim.Sim.run c in
+              let r = Pipeline.simulate b in
               let prof =
                 Muir_trace.Profile.of_run c r.Muir_sim.Sim.counters
               in
@@ -410,8 +419,8 @@ let simulate_cmd =
   in
   let run path passes unroll jobs =
     handle_frontend (fun () ->
-        let _, c = optimized_circuit ~unroll path passes in
-        let r = Muir_sim.Sim.run ~jobs c in
+        let b = build_file ~unroll path passes in
+        let r = Pipeline.simulate ~jobs b in
         report_simulation r;
         Fmt.pr "return value      %s@."
           (Muir_ir.Types.value_to_string r.value))
@@ -494,19 +503,10 @@ let profile_cmd =
             exit 2
         end
         else begin
-          let c =
-            if Sys.file_exists target then
-              snd (optimized_circuit ~unroll target passes)
-            else begin
-              let w = Muir_workloads.Workloads.find target in
-              let p = Muir_workloads.Workloads.program w in
-              let c = Muir_core.Build.circuit ~name:w.wname p in
-              let _ = Muir_opt.Pass.run_all (List.concat passes) c in
-              c
-            end
-          in
+          let b = target_built ~unroll target passes in
+          let c = b.Pipeline.p_circuit in
           let tracer = Muir_trace.Trace.create () in
-          let r = Muir_sim.Sim.run ~tracer c in
+          let r = Pipeline.simulate ~tracer b in
           let prof = Muir_trace.Profile.of_run c ~tracer r.counters in
           Muir_trace.Profile.report ~top Fmt.stdout prof;
           Fmt.pr "@.total cycles      %d (%d fires)@." r.stats.total_cycles
@@ -519,9 +519,9 @@ let profile_cmd =
             vcd;
           Option.iter
             (fun f ->
-              let d = Muir_rtl.Lower.design c in
-              let fp = Muir_model.Model.fpga d in
-              let ac = Muir_model.Model.asic d in
+              let m = Pipeline.model b in
+              let fp = m.Pipeline.m_fpga in
+              let ac = m.Pipeline.m_asic in
               let stack =
                 match
                   List.map
@@ -717,6 +717,275 @@ let workload_cmd =
        ~doc:"Run a bundled benchmark (try --list with any name).")
     Term.(const run $ name_arg $ passes_arg $ list_flag)
 
+(* --- the serve daemon and its client ------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string
+        (Filename.concat (Filename.get_temp_dir_name ()) "muirc-serve.sock")
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the content-addressed result cache in $(docv) \
+             (created if missing); a restarted daemon warms from it, so \
+             repeated batches cost zero fresh simulations across \
+             restarts.  Without this flag the cache is memory-only.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Evaluate each batch's fresh items on $(docv) domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: reject a run request (with a structured \
+             $(b,overloaded) error) when accepting it would put more \
+             than $(docv) items in the queue.")
+  in
+  let run socket cache_dir jobs queue =
+    let t = Muir_serve.Server.create ?cache_dir ~jobs ~queue_cap:queue () in
+    let drain _ = Muir_serve.Server.request_drain t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Fmt.pr "muirc serve: listening on %s (jobs %d, queue cap %d%s)@." socket
+      jobs queue
+      (match cache_dir with
+      | Some d -> ", cache " ^ d
+      | None -> ", memory-only cache");
+    let s = Muir_serve.Server.serve ~socket t in
+    Fmt.pr
+      "muirc serve: drained — %d request(s), %d ok, %d error(s), %d \
+       fresh, %d cached@."
+      s.dr_requests s.dr_ok s.dr_errors s.dr_fresh s.dr_cached
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent compile-and-simulate daemon: batched \
+          requests (bundled workloads or inline source × μopt stack × \
+          sim parameters) over length-prefixed JSON on a Unix-domain \
+          socket, evaluated through the staged pipeline on a domain \
+          pool, with a content-addressed result cache ($(b,--cache-dir) \
+          makes it survive restarts), a bounded admission queue, \
+          per-request deadlines, and graceful SIGINT/SIGTERM drain.")
+    Term.(const run $ socket_arg $ cache_arg $ jobs_arg $ queue_arg)
+
+let client_cmd =
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE|WORKLOAD"
+          ~doc:
+            ".mc source files (sent inline) or bundled workload names; \
+             each becomes one item of the batch.")
+  in
+  let stack_arg =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "stack" ] ~docv:"NAME"
+          ~doc:"μopt registry stack for every positional target.")
+  in
+  let tiles_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tiles" ] ~docv:"N" ~doc:"Override the stack's tile count.")
+  in
+  let banks_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "banks" ] ~docv:"N" ~doc:"Override the stack's bank count.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-item deadline, measured from admission and enforced at \
+             pipeline stage boundaries.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Simulator domains per item (results are bit-identical for \
+             every value, so this never changes what is cached).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Read the batch from a JSON file of the form \
+             {\"items\":[...]} instead of building it from positional \
+             targets.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Ask the daemon for its counters (uptime, queue depth, \
+             cache hit/miss/entry counts, per-stage latency) instead of \
+             running a batch.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:"Write the daemon's full response as JSON.")
+  in
+  let module J = Muir_trace.Json in
+  let module P = Muir_serve.Proto in
+  let run socket targets stack tiles banks deadline jobs batch stats
+      shutdown json =
+    let write_json resp =
+      Option.iter
+        (fun f -> write_file f (J.to_string (P.response_to_json resp)))
+        json
+    in
+    let fail_transport msg =
+      Fmt.epr "muirc client: %s@." msg;
+      exit 2
+    in
+    try
+      if stats then
+        Muir_serve.Client.with_connection socket (fun fd ->
+            match Muir_serve.Client.rpc fd P.Stats with
+            | P.Stats_r s as resp ->
+              write_json resp;
+              Fmt.pr
+                "uptime %.1fs  queue %d%s@.%d request(s): %d items, %d \
+                 ok, %d error(s), %d fresh, %d cached@.cache: %d hits, \
+                 %d misses, %d entries, %d corrupt discarded@."
+                s.st_uptime_s s.st_queue_depth
+                (if s.st_draining then " (draining)" else "")
+                s.st_requests s.st_items s.st_ok s.st_errors s.st_fresh
+                s.st_cached s.st_cache_hits s.st_cache_misses
+                s.st_cache_entries s.st_cache_corrupt;
+              List.iter
+                (fun (t : P.stage_stat) ->
+                  Fmt.pr "  %-9s %6d run(s)  %8.3fs@." t.tg_stage t.tg_count
+                    t.tg_seconds)
+                s.st_stages
+            | resp ->
+              write_json resp;
+              fail_transport "unexpected response to stats")
+      else if shutdown then
+        Muir_serve.Client.with_connection socket (fun fd ->
+            match Muir_serve.Client.rpc fd P.Shutdown with
+            | P.Bye -> Fmt.pr "daemon draining@."
+            | _ -> fail_transport "unexpected response to shutdown")
+      else begin
+        let items =
+          match batch with
+          | Some f -> (
+            let j =
+              try J.parse (read_file f)
+              with J.Parse_error e ->
+                Fmt.epr "%s: invalid JSON: %s@." f e;
+                exit 2
+            in
+            match J.member "items" j with
+            | Some items -> (
+              try P.items_of_json items
+              with P.Bad_request m ->
+                Fmt.epr "%s: %s@." f m;
+                exit 2)
+            | None ->
+              Fmt.epr "%s: no \"items\" array@." f;
+              exit 2)
+          | None ->
+            List.mapi
+              (fun i target ->
+                let src =
+                  if Sys.file_exists target then
+                    P.Inline
+                      { name =
+                          Filename.remove_extension
+                            (Filename.basename target);
+                        text = read_file target }
+                  else P.Workload target
+                in
+                { P.it_id = i; it_src = src; it_stack = stack;
+                  it_tiles = tiles; it_banks = banks; it_off = [];
+                  it_deadline_ms = deadline; it_jobs = jobs })
+              targets
+        in
+        if items = [] then begin
+          Fmt.epr "muirc client: nothing to run (no targets, no --batch)@.";
+          exit 2
+        end;
+        Muir_serve.Client.with_connection socket (fun fd ->
+            match Muir_serve.Client.rpc fd (P.Run items) with
+            | P.Results { results; fresh; cached; errors } as resp ->
+              write_json resp;
+              List.iter
+                (fun (r : P.result_) ->
+                  match r.rs_outcome with
+                  | P.Ok_ { cached; report } ->
+                    let get k j =
+                      match Option.bind j (J.member k) with
+                      | Some (J.Int n) -> string_of_int n
+                      | Some (J.Str s) -> s
+                      | _ -> "?"
+                    in
+                    let run_j = J.member "run" report in
+                    Fmt.pr "  #%-3d %-12s %-24s %10s cycles  [%s]@."
+                      r.rs_id
+                      (get "workload" run_j)
+                      (get "stack" run_j)
+                      (get "cycles" run_j)
+                      (if cached then "cached" else "fresh")
+                  | P.Err { code; stage; msg } ->
+                    Fmt.pr "  #%-3d ERROR %s%s: %s@." r.rs_id code
+                      (match stage with
+                      | Some s -> " at " ^ s
+                      | None -> "")
+                      msg)
+                results;
+              Fmt.pr "%d ok (%d fresh, %d cached), %d error(s)@."
+                (List.length results - errors)
+                fresh cached errors;
+              if errors > 0 then exit 1
+            | P.Error_r { code; msg } as resp ->
+              write_json resp;
+              Fmt.epr "muirc client: daemon rejected the request: %s (%s)@."
+                msg code;
+              exit 1
+            | resp ->
+              write_json resp;
+              fail_transport "unexpected response to run")
+      end
+    with Muir_serve.Client.Transport m -> fail_transport m
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send a batch to a running $(b,muirc serve) daemon and print \
+          the per-item results; also $(b,--stats) and $(b,--shutdown).")
+    Term.(
+      const run $ socket_arg $ targets_arg $ stack_arg $ tiles_arg
+      $ banks_arg $ deadline_arg $ jobs_arg $ batch_arg $ stats_flag
+      $ shutdown_flag $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "muirc" ~version:"1.0.0"
@@ -724,6 +993,7 @@ let main =
          "μIR: an intermediate representation for transforming and \
           optimizing the microarchitecture of application accelerators.")
     [ ir_cmd; graph_cmd; check_cmd; dot_cmd; chisel_cmd; simulate_cmd;
-      profile_cmd; explore_cmd; synth_cmd; workload_cmd ]
+      profile_cmd; explore_cmd; synth_cmd; workload_cmd; serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval main)

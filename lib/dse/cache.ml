@@ -31,6 +31,13 @@ let add (c : 'a t) (key : string) (v : 'a) : unit =
   c.misses <- c.misses + 1;
   Hashtbl.replace c.tbl key v
 
+(** Install an entry without touching the hit/miss counters.  This is
+    how a persistent cache (lib/serve's result store) warms the table
+    from disk at startup: the entries were paid for by an earlier
+    process, so they are neither hits nor misses of this one. *)
+let seed (c : 'a t) (key : string) (v : 'a) : unit =
+  Hashtbl.replace c.tbl key v
+
 let mem (c : 'a t) (key : string) : bool = Hashtbl.mem c.tbl key
 
 let stats (c : 'a t) : stats =

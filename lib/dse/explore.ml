@@ -90,13 +90,16 @@ let timing_dominates ~(bound : int) ~(alms : int) ((c0, a0) : int * int) :
     soundness contract is enforced on every run, not only in tests. *)
 let evaluate ~(subject : subject) ~(area_budget : int option)
     ~(dominators : (int * int) list) (cfg : Config.t) : eval =
+  let module P = Muir_pipeline.Pipeline in
   let key = Config.key cfg in
-  let p = subject.s_program () in
-  let c = Muir_core.Build.circuit ~name:subject.s_name p in
-  let _ = Muir_opt.Pass.run_all (Config.passes cfg) c in
-  let d = Muir_rtl.Lower.design c in
-  let f = Muir_model.Model.fpga d in
-  let a = Muir_model.Model.asic d in
+  let b =
+    P.build ~passes:(Config.passes cfg)
+      { P.src_name = Some subject.s_name; src_load = subject.s_program }
+  in
+  let c = b.P.p_circuit in
+  let m = P.model b in
+  let f = m.P.m_fpga in
+  let a = m.P.m_asic in
   let bound = Muir_analysis.Timing.bound_cycles c in
   let base =
     { e_key = key; e_cfg = cfg; e_alms = f.fr_alms; e_brams = f.fr_brams;
@@ -111,7 +114,7 @@ let evaluate ~(subject : subject) ~(area_budget : int option)
     List.exists (timing_dominates ~bound ~alms:f.fr_alms) dominators
   then { base with e_tpruned = true }
   else begin
-    let r = Muir_sim.Sim.run c in
+    let r = P.simulate b in
     let cycles = r.Muir_sim.Sim.stats.total_cycles in
     if bound > cycles then
       invalid_arg
@@ -453,7 +456,7 @@ let to_json (t : t) : string =
   Fmt.str
     "{\"provenance\":%s,\"subject\":\"%s\",\"strategy\":\"%s\",\"evals\":%s,\
      \"frontier\":%s,\"best\":%s,\"fresh_evals\":%d,\"fresh_sims\":%d,\
-     \"pruned\":%d,\"timing_pruned\":%d,\
+     \"pruned\":%d,\"timing_pruned\":%d,\"cache_hits\":%d,\
      \"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d}}"
     prov
     (json_escape t.x_subject)
@@ -461,4 +464,5 @@ let to_json (t : t) : string =
     (list t.x_evals) (list t.x_frontier)
     (match t.x_best with Some b -> eval_to_json b | None -> "null")
     t.x_fresh_evals t.x_fresh_sims t.x_pruned t.x_timing_pruned
+    t.x_cache_hits
     t.x_cache.c_hits t.x_cache.c_misses t.x_cache.c_entries

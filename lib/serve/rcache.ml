@@ -1,0 +1,144 @@
+(** The daemon's persistent, content-addressed result cache.
+
+    This generalizes the explorer's in-memory memo table
+    ({!Muir_dse.Cache}) with an on-disk backing store, so a repeated
+    batch costs zero fresh simulations {e across daemon restarts}.
+
+    {2 Layout}
+
+    Each entry is its own file, [<dir>/<md5hex-of-key>.rc], holding
+
+    {v
+    muir-rcache-v1 <md5hex-of-payload> <key-len> <payload-len>\n
+    <key><payload>
+    v}
+
+    The payload is the deterministic JSON of a
+    {!Muir_trace.Report} — schema-versioned by the report itself, so
+    a cache written by an older toolchain revision is simply a
+    collection of reports that no current key maps to.  The header
+    checksum covers the payload; the filename covers the key.  At
+    {!create} every entry is loaded and validated eagerly: a file with
+    a bad magic, a mismatched checksum, truncated lengths, or a
+    filename that does not hash its own key is deleted and counted in
+    [corrupt] — the daemon warms from whatever survives and never
+    crashes on a mangled store.
+
+    Writes are atomic (temp file + [Unix.rename] in the same
+    directory), so a daemon killed mid-write leaves at worst a stale
+    [.tmp] file, never a torn entry.
+
+    Hit/miss accounting is inherited from {!Muir_dse.Cache}: disk
+    entries are installed with [seed] (neither hit nor miss — they
+    were paid for by an earlier process), lookups count hits, fresh
+    results count misses. *)
+
+type t = {
+  rc_dir : string option;            (** [None] = memory-only *)
+  rc_mem : string Muir_dse.Cache.t;  (** key → report-JSON payload *)
+  mutable rc_corrupt : int;          (** entries discarded at load *)
+}
+
+type stats = { hits : int; misses : int; entries : int; corrupt : int }
+
+let magic = "muir-rcache-v1"
+
+let entry_path (dir : string) (key : string) : string =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".rc")
+
+(* ------------------------------------------------------------------ *)
+(* On-disk entry codec                                                 *)
+
+let encode_entry (key : string) (payload : string) : string =
+  Fmt.str "%s %s %d %d\n%s%s" magic
+    (Digest.to_hex (Digest.string payload))
+    (String.length key) (String.length payload) key payload
+
+(** Decode and validate one entry file's contents against its
+    filename; [Error reason] for anything mangled. *)
+let decode_entry ~(path : string) (s : string) :
+    (string * string, string) result =
+  match String.index_opt s '\n' with
+  | None -> Error "no header line"
+  | Some nl -> (
+    let header = String.sub s 0 nl in
+    match String.split_on_char ' ' header with
+    | [ m; sum; klen_s; plen_s ] when m = magic -> (
+      match (int_of_string_opt klen_s, int_of_string_opt plen_s) with
+      | Some klen, Some plen
+        when klen >= 0 && plen >= 0
+             && String.length s = nl + 1 + klen + plen -> (
+        let key = String.sub s (nl + 1) klen in
+        let payload = String.sub s (nl + 1 + klen) plen in
+        if Digest.to_hex (Digest.string payload) <> sum then
+          Error "payload checksum mismatch"
+        else if
+          Filename.basename path <> Digest.to_hex (Digest.string key) ^ ".rc"
+        then Error "filename does not match key hash"
+        else
+          (* The payload must still parse as JSON: a torn write that
+             happens to keep its length honest is caught here. *)
+          match Muir_trace.Json.parse payload with
+          | _ -> Ok (key, payload)
+          | exception Muir_trace.Json.Parse_error _ ->
+            Error "payload is not valid JSON")
+      | _ -> Error "truncated or inconsistent lengths")
+    | _ -> Error "bad magic or header shape")
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_atomic (dir : string) (path : string) (contents : string) : unit =
+  let tmp = Filename.temp_file ~temp_dir:dir "rcache" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Unix.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+
+let load_dir (t : t) (dir : string) : unit =
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".rc" then begin
+        let path = Filename.concat dir name in
+        match decode_entry ~path (read_file path) with
+        | Ok (key, payload) -> Muir_dse.Cache.seed t.rc_mem key payload
+        | Error _ ->
+          (try Sys.remove path with Sys_error _ -> ());
+          t.rc_corrupt <- t.rc_corrupt + 1
+        | exception Sys_error _ -> t.rc_corrupt <- t.rc_corrupt + 1
+      end)
+    (Sys.readdir dir)
+
+(** Open (and eagerly warm from) a cache directory; the directory is
+    created if missing.  [?dir:None] gives a memory-only cache with
+    identical semantics minus persistence. *)
+let create ?dir () : t =
+  let t = { rc_dir = dir; rc_mem = Muir_dse.Cache.create (); rc_corrupt = 0 } in
+  (match dir with
+  | None -> ()
+  | Some d ->
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    load_dir t d);
+  t
+
+(** Lookup; counts a hit when present. *)
+let find (t : t) (key : string) : string option =
+  Muir_dse.Cache.find_opt t.rc_mem key
+
+(** Record a freshly paid-for payload: counts a miss, persists the
+    entry atomically when the cache is disk-backed. *)
+let add (t : t) (key : string) (payload : string) : unit =
+  Muir_dse.Cache.add t.rc_mem key payload;
+  match t.rc_dir with
+  | None -> ()
+  | Some dir -> write_atomic dir (entry_path dir key) (encode_entry key payload)
+
+let stats (t : t) : stats =
+  let s = Muir_dse.Cache.stats t.rc_mem in
+  { hits = s.c_hits; misses = s.c_misses; entries = s.c_entries;
+    corrupt = t.rc_corrupt }

@@ -1,0 +1,499 @@
+(** The compile-and-simulate daemon.
+
+    A {!t} owns the persistent result cache ({!Rcache}), an admission
+    queue, and the counters behind the [stats] request.  {!handle} is
+    the whole request semantics as a pure-ish function — the socket
+    loop ({!serve}), the drain path and the tests all go through it —
+    and {!serve} is a select-based single-threaded loop that owns the
+    Unix-domain socket: it accepts connections, reads length-prefixed
+    frames ({!Proto}), answers [stats]/[shutdown] inline, admits [run]
+    requests against the queue bound, and processes one queued request
+    per iteration.
+
+    {2 Evaluation}
+
+    A batch's items are resolved to content keys
+    ([muir-serve-v1|<source-digest>|<Config.key>] — see {!item_key}),
+    deduplicated, answered from the cache where possible, and the
+    remaining unique keys fanned out over the OCaml-5 domain pool
+    ({!Muir_dse.Pool}) through the staged {!Muir_pipeline.Pipeline}.
+    Fresh results are folded into the cache by the coordinating domain
+    only, so cache traffic is race-free by construction (the same
+    discipline as the explorer).  Because run reports are
+    deterministic, a cached answer is byte-identical to the fresh one
+    it replays.
+
+    {2 Failure containment}
+
+    Everything that can go wrong inside an item — unknown workload or
+    stack, a front-end error in inline source, a deadline expiring at
+    a stage boundary, a simulator deadlock — becomes a structured
+    per-item error in the response.  Nothing an item does terminates
+    the daemon. *)
+
+module Config = Muir_dse.Config
+module Pipeline = Muir_pipeline.Pipeline
+module W = Muir_workloads.Workloads
+
+type t = {
+  sv_rcache : Rcache.t;
+  sv_jobs : int;            (** evaluation domains per batch *)
+  sv_queue_cap : int;       (** max queued items across requests *)
+  sv_started : float;
+  sv_queue : pending Queue.t;
+  sv_stop : bool Atomic.t;  (** drain requested (signal or shutdown op) *)
+  mutable sv_requests : int;
+  mutable sv_items : int;
+  mutable sv_ok : int;
+  mutable sv_errors : int;
+  mutable sv_fresh : int;
+  mutable sv_cached : int;
+  sv_stage_seconds : float array;
+  sv_stage_counts : int array;
+}
+
+and pending = {
+  pd_fd : Unix.file_descr;
+  pd_items : Proto.item list;
+  pd_admitted : float;
+}
+
+let create ?cache_dir ?(jobs = 1) ?(queue_cap = 256) () : t =
+  { sv_rcache = Rcache.create ?dir:cache_dir ();
+    sv_jobs = max 1 jobs;
+    sv_queue_cap = queue_cap;
+    sv_started = Unix.gettimeofday ();
+    sv_queue = Queue.create ();
+    sv_stop = Atomic.make false;
+    sv_requests = 0; sv_items = 0; sv_ok = 0; sv_errors = 0;
+    sv_fresh = 0; sv_cached = 0;
+    sv_stage_seconds = Array.make Pipeline.nstages 0.0;
+    sv_stage_counts = Array.make Pipeline.nstages 0 }
+
+(** Ask the serve loop to stop accepting work and drain what it has.
+    Safe to call from a signal handler. *)
+let request_drain (t : t) : unit = Atomic.set t.sv_stop true
+
+let queue_depth (t : t) : int =
+  Queue.fold (fun n p -> n + List.length p.pd_items) 0 t.sv_queue
+
+(* ------------------------------------------------------------------ *)
+(* Content keys                                                        *)
+
+(** The cache key of one item: a protocol-versioned digest of the
+    {e source} (workload text or inline text — so editing a bundled
+    workload invalidates its entries) crossed with the configuration's
+    content key.  [jobs] and [deadline_ms] are deliberately excluded:
+    simulation is bit-identical for every job count, and a deadline
+    changes when an answer arrives, never what it is. *)
+let item_key (src : Proto.src) (cfg : Config.t) : string =
+  let sd =
+    match src with
+    | Proto.Workload name ->
+      let w = W.find name in
+      Fmt.str "workload:%s:%s" name (Digest.to_hex (Digest.string w.source))
+    | Proto.Inline { name; text } ->
+      Fmt.str "inline:%s"
+        (Digest.to_hex (Digest.string (name ^ "\x00" ^ text)))
+  in
+  Fmt.str "muir-serve-v1|%s|%s" sd (Config.key cfg)
+
+(** The μopt configuration an item denotes: its stack's registry
+    defaults, overridden by any explicit knobs.
+    @raise Invalid_argument for unknown stacks *)
+let item_config (it : Proto.item) : Config.t =
+  let base = Config.predefined it.it_stack in
+  Config.v
+    ~tiles:(Option.value ~default:base.tiles it.it_tiles)
+    ~banks:(Option.value ~default:base.banks it.it_banks)
+    ~off:it.it_off it.it_stack
+
+(* ------------------------------------------------------------------ *)
+(* Item evaluation (worker side)                                       *)
+
+type outcome =
+  | Payload of string                          (** report JSON *)
+  | Failed of string * string option * string  (** code, stage, msg *)
+
+(** One worker-side evaluation: the full six-stage pipeline, every
+    failure mode folded into a structured {!outcome}.  The stage
+    timing arrays ride back for the coordinator to merge. *)
+type wres = {
+  w_out : outcome;
+  w_secs : float array;
+  w_counts : int array;
+}
+
+let eval_item ~(deadline : float option) (it : Proto.item)
+    (cfg : Config.t) : wres =
+  let ctl = Pipeline.ctl ?deadline () in
+  let out =
+    try
+      let src =
+        match it.it_src with
+        | Proto.Workload name -> Pipeline.of_workload_name name
+        | Proto.Inline { name; text } -> Pipeline.of_text ~name text
+      in
+      let b = Pipeline.build ~ctl ~passes:(Config.passes cfg) src in
+      let m = Pipeline.model ~ctl b in
+      let r = Pipeline.simulate ~ctl ~jobs:it.it_jobs b in
+      let spec = Config.spec cfg in
+      let knobs =
+        (if spec.sp_uses_tiles then [ ("tiles", cfg.tiles) ] else [])
+        @ if spec.sp_uses_banks then [ ("banks", cfg.banks) ] else []
+      in
+      let mem =
+        List.map
+          (fun (s : Muir_sim.Memsys.struct_stats) ->
+            { Muir_trace.Report.m_name = s.ss_name;
+              m_accesses = s.ss_accesses; m_hits = s.ss_hits;
+              m_misses = s.ss_misses; m_conflicts = s.ss_conflicts })
+          r.stats.mem
+      in
+      let fp = m.m_fpga and ac = m.m_asic in
+      let rep =
+        Muir_trace.Report.make ~workload:b.p_circuit.cname
+          ~stack:(Config.label cfg) ~knobs ~mem
+          ~fpga:
+            { Muir_trace.Report.f_mhz = fp.fr_mhz; f_alms = fp.fr_alms;
+              f_regs = fp.fr_regs; f_dsps = fp.fr_dsps;
+              f_brams = fp.fr_brams }
+          ~asic:{ Muir_trace.Report.a_ghz = ac.ar_ghz; a_area = ac.ar_area }
+          ~total_cycles:r.stats.total_cycles b.p_circuit r.counters
+      in
+      Payload (Muir_trace.Report.to_json rep)
+    with
+    | Pipeline.Deadline st ->
+      Failed
+        ( "deadline", Some (Pipeline.stage_name st),
+          Fmt.str "deadline expired before the %s stage"
+            (Pipeline.stage_name st) )
+    | Muir_sim.Sim.Deadlock m -> Failed ("deadlock", Some "simulate", m)
+    | Muir_sim.Sim.Cycle_limit n ->
+      Failed
+        ("cycle_limit", Some "simulate", Fmt.str "no progress by cycle %d" n)
+    | Invalid_argument m -> Failed ("bad_request", None, m)
+    | e -> (
+      match Muir_frontend.Frontend.describe_error e with
+      | Some m -> Failed ("compile_error", Some "compile", m)
+      | None -> Failed ("internal", None, Printexc.to_string e))
+  in
+  { w_out = out; w_secs = ctl.stage_seconds; w_counts = ctl.stage_counts }
+
+(* ------------------------------------------------------------------ *)
+(* Batch processing (coordinator side)                                 *)
+
+type resolved =
+  | Ready of { rv_key : string; rv_cfg : Config.t }
+  | Unresolvable of string  (** message; code is always bad_request *)
+
+let resolve (it : Proto.item) : resolved =
+  match
+    let cfg = item_config it in
+    (item_key it.it_src cfg, cfg)
+  with
+  | key, cfg -> Ready { rv_key = key; rv_cfg = cfg }
+  | exception Invalid_argument m -> Unresolvable m
+
+(** Process one admitted [run] request: dedupe by key, answer from the
+    cache, evaluate the remaining unique keys on the pool, fold fresh
+    results (and stage timings) back, and assemble per-item results in
+    request order. *)
+let run_items ~(now : float) (t : t) (items : Proto.item list) :
+    Proto.response =
+  t.sv_requests <- t.sv_requests + 1;
+  t.sv_items <- t.sv_items + List.length items;
+  let resolved = List.map (fun it -> (it, resolve it)) items in
+  (* First pass: probe the cache. *)
+  let probed =
+    List.map
+      (fun (it, rv) ->
+        match rv with
+        | Unresolvable m -> (it, `Bad m)
+        | Ready { rv_key = key; rv_cfg = cfg } -> (
+          match Rcache.find t.sv_rcache key with
+          | Some payload -> (it, `Hit (key, payload))
+          | None -> (it, `Miss (key, cfg))))
+      resolved
+  in
+  (* Each uncached key gets exactly one evaluation; the other items with
+     that key answer from its result. The representative must be the
+     least deadline-constrained item of the group — a dup replays the
+     representative's outcome, so an aggressive deadline on one copy
+     must not fail the unconstrained copies. *)
+  let reps : (string, Proto.item) Hashtbl.t = Hashtbl.create 16 in
+  let looser a b =
+    match (a, b) with
+    | None, _ -> true
+    | _, None -> false
+    | Some x, Some y -> x > y
+  in
+  List.iter
+    (fun ((it : Proto.item), what) ->
+      match what with
+      | `Miss (key, _) -> (
+        match Hashtbl.find_opt reps key with
+        | Some (prev : Proto.item)
+          when not (looser it.it_deadline_ms prev.it_deadline_ms) ->
+          ()
+        | _ -> Hashtbl.replace reps key it)
+      | _ -> ())
+    probed;
+  let plan =
+    List.map
+      (fun ((it : Proto.item), what) ->
+        match what with
+        | (`Bad _ | `Hit _) as w -> (it, w)
+        | `Miss (key, cfg) ->
+          if Hashtbl.find reps key == it then (it, `Fresh (key, cfg))
+          else (it, `Dup key))
+      probed
+  in
+  let fresh =
+    List.filter_map
+      (function
+        | it, `Fresh (key, cfg) ->
+          let deadline =
+            Option.map
+              (fun ms -> now +. (float_of_int ms /. 1000.0))
+              it.Proto.it_deadline_ms
+          in
+          Some (key, it, cfg, deadline)
+        | _ -> None)
+      plan
+  in
+  let results =
+    Muir_dse.Pool.map ~jobs:t.sv_jobs
+      (fun (_, it, cfg, deadline) -> eval_item ~deadline it cfg)
+      fresh
+  in
+  (* Fold fresh results into the cache and the per-stage counters —
+     coordinator only, same discipline as the explorer's memo table. *)
+  let by_key = Hashtbl.create 16 in
+  List.iter2
+    (fun (key, _, _, _) (w : wres) ->
+      Array.iteri
+        (fun i s -> t.sv_stage_seconds.(i) <- t.sv_stage_seconds.(i) +. s)
+        w.w_secs;
+      Array.iteri
+        (fun i n -> t.sv_stage_counts.(i) <- t.sv_stage_counts.(i) + n)
+        w.w_counts;
+      (match w.w_out with
+      | Payload p -> Rcache.add t.sv_rcache key p
+      | Failed _ -> ());
+      Hashtbl.replace by_key key w.w_out)
+    fresh results;
+  (* Second pass: per-item results in request order. *)
+  let fresh_n = ref 0 and cached_n = ref 0 and err_n = ref 0 in
+  let ok ~cached payload =
+    t.sv_ok <- t.sv_ok + 1;
+    incr (if cached then cached_n else fresh_n);
+    Proto.Ok_ { cached; report = Muir_trace.Json.parse payload }
+  in
+  let err code stage msg =
+    t.sv_errors <- t.sv_errors + 1;
+    incr err_n;
+    Proto.Err { code; stage; msg }
+  in
+  let rs =
+    List.map
+      (fun ((it : Proto.item), what) ->
+        let outcome =
+          match what with
+          | `Bad m -> err "bad_request" None m
+          | `Hit (_, payload) -> ok ~cached:true payload
+          | `Fresh (key, _) -> (
+            match Hashtbl.find by_key key with
+            | Payload p -> ok ~cached:false p
+            | Failed (code, stage, msg) -> err code stage msg)
+          | `Dup key -> (
+            (* The representative ran in this very batch; replay it
+               through the cache so the hit is counted. *)
+            match Rcache.find t.sv_rcache key with
+            | Some payload -> ok ~cached:true payload
+            | None -> (
+              match Hashtbl.find by_key key with
+              | Failed (code, stage, msg) -> err code stage msg
+              | Payload p -> ok ~cached:true p))
+        in
+        { Proto.rs_id = it.it_id; rs_outcome = outcome })
+      plan
+  in
+  t.sv_fresh <- t.sv_fresh + !fresh_n;
+  t.sv_cached <- t.sv_cached + !cached_n;
+  Proto.Results
+    { results = rs; fresh = !fresh_n; cached = !cached_n; errors = !err_n }
+
+let stats_response ?(now = Unix.gettimeofday ()) (t : t) : Proto.response =
+  let cs = Rcache.stats t.sv_rcache in
+  Proto.Stats_r
+    { st_uptime_s = now -. t.sv_started;
+      st_queue_depth = queue_depth t;
+      st_draining = Atomic.get t.sv_stop;
+      st_requests = t.sv_requests;
+      st_items = t.sv_items;
+      st_ok = t.sv_ok;
+      st_errors = t.sv_errors;
+      st_fresh = t.sv_fresh;
+      st_cached = t.sv_cached;
+      st_cache_hits = cs.hits;
+      st_cache_misses = cs.misses;
+      st_cache_entries = cs.entries;
+      st_cache_corrupt = cs.corrupt;
+      st_stages =
+        List.map
+          (fun st ->
+            let i = Pipeline.stage_index st in
+            { Proto.tg_stage = Pipeline.stage_name st;
+              tg_count = t.sv_stage_counts.(i);
+              tg_seconds = t.sv_stage_seconds.(i) })
+          Pipeline.stages }
+
+(** The whole request semantics, synchronously: what {!serve} answers
+    after queueing, and what tests call directly.  [now] is the
+    admission time (defaults to the current clock). *)
+let handle ?(now = Unix.gettimeofday ()) (t : t) (req : Proto.request) :
+    Proto.response =
+  match req with
+  | Proto.Run items -> run_items ~now t items
+  | Proto.Stats -> stats_response ~now t
+  | Proto.Shutdown ->
+    request_drain t;
+    Proto.Bye
+
+(** Parse-and-handle one raw payload: malformed requests become the
+    structured [bad_request] error instead of an exception. *)
+let handle_payload ?now (t : t) (payload : string) : Proto.response =
+  match Proto.request_of_string payload with
+  | req -> handle ?now t req
+  | exception Proto.Bad_request m ->
+    Proto.Error_r { code = "bad_request"; msg = m }
+
+(* ------------------------------------------------------------------ *)
+(* The socket loop                                                     *)
+
+let send (fd : Unix.file_descr) (resp : Proto.response) : bool =
+  match Proto.write_frame fd (Proto.response_to_string resp) with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+type drain_summary = {
+  dr_requests : int;
+  dr_ok : int;
+  dr_errors : int;
+  dr_fresh : int;
+  dr_cached : int;
+}
+
+(** Listen on [socket] (an existing file there is replaced) and serve
+    until a drain is requested — by {!request_drain} (the signal path)
+    or a [shutdown] request.  Draining stops accepting connections and
+    admissions, answers every already-admitted request, then closes
+    everything and removes the socket file. *)
+let serve ?(max_frame = Proto.default_max_frame) ~(socket : string) (t : t) :
+    drain_summary =
+  (* A peer that disconnects mid-response must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists socket then Unix.unlink socket;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 16;
+  let clients = ref [] in
+  let close_client fd =
+    clients := List.filter (fun c -> c <> fd) !clients;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let drop_pending fd =
+    (* A request whose client vanished still gets evaluated during
+       drain only if its fd is alive; otherwise it is discarded. *)
+    let keep = Queue.create () in
+    Queue.iter (fun p -> if p.pd_fd <> fd then Queue.add p keep) t.sv_queue;
+    Queue.clear t.sv_queue;
+    Queue.transfer keep t.sv_queue
+  in
+  let on_frame fd payload =
+    match Proto.request_of_string payload with
+    | exception Proto.Bad_request m ->
+      ignore (send fd (Proto.Error_r { code = "bad_request"; msg = m }))
+    | Proto.Stats -> ignore (send fd (stats_response t))
+    | Proto.Shutdown ->
+      request_drain t;
+      ignore (send fd Proto.Bye)
+    | Proto.Run items ->
+      if Atomic.get t.sv_stop then
+        ignore
+          (send fd
+             (Proto.Error_r
+                { code = "draining"; msg = "daemon is draining" }))
+      else if queue_depth t + List.length items > t.sv_queue_cap then
+        ignore
+          (send fd
+             (Proto.Error_r
+                { code = "overloaded";
+                  msg =
+                    Fmt.str
+                      "admission queue full (%d queued + %d requested > \
+                       cap %d)"
+                      (queue_depth t) (List.length items) t.sv_queue_cap }))
+      else
+        Queue.add
+          { pd_fd = fd; pd_items = items;
+            pd_admitted = Unix.gettimeofday () }
+          t.sv_queue
+  in
+  let read_from fd =
+    match Proto.read_frame ~max_frame fd with
+    | None ->
+      drop_pending fd;
+      close_client fd
+    | Some payload -> on_frame fd payload
+    | exception Proto.Oversize n ->
+      (* The header is sound even when the payload is not worth
+         reading; answer, then close — the stream is unsynchronized. *)
+      ignore
+        (send fd
+           (Proto.Error_r
+              { code = "oversize";
+                msg = Fmt.str "frame of %d bytes exceeds cap %d" n max_frame }));
+      drop_pending fd;
+      close_client fd
+    | exception Proto.Frame_error _ ->
+      drop_pending fd;
+      close_client fd
+    | exception Unix.Unix_error _ ->
+      drop_pending fd;
+      close_client fd
+  in
+  let process_one () =
+    match Queue.take_opt t.sv_queue with
+    | None -> ()
+    | Some p ->
+      let resp = run_items ~now:p.pd_admitted t p.pd_items in
+      if not (send p.pd_fd resp) then close_client p.pd_fd
+  in
+  let draining () = Atomic.get t.sv_stop in
+  while not (draining ()) do
+    match Unix.select (lfd :: !clients) [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = lfd then (
+            match Unix.accept lfd with
+            | cfd, _ -> clients := cfd :: !clients
+            | exception Unix.Unix_error _ -> ())
+          else read_from fd)
+        readable;
+      process_one ()
+  done;
+  (* Drain: no new connections or admissions; answer the queue. *)
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  while not (Queue.is_empty t.sv_queue) do
+    process_one ()
+  done;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  { dr_requests = t.sv_requests; dr_ok = t.sv_ok; dr_errors = t.sv_errors;
+    dr_fresh = t.sv_fresh; dr_cached = t.sv_cached }
