@@ -870,6 +870,38 @@ let explore () =
     plain.x_fresh_sims pruned.x_fresh_sims pruned.x_timing_pruned
 
 (* ------------------------------------------------------------------ *)
+(* Tensor-graph frontend: what graph-level op fusion pays               *)
+
+let nn () =
+  header
+    "Tensor-graph frontend: whole-model lowering, fused vs unfused \
+     (fusion folds relu into the producing matmul/conv/dense and \
+     elides flatten)";
+  Fmt.pr "%-8s %-9s %12s %12s %8s %9s@." "model" "stack" "unfused cyc"
+    "fused cyc" "saved" "speedup";
+  let improved = ref false in
+  List.iter
+    (fun name ->
+      let wf = W.nn_workload name in
+      let wu = W.nn_workload ~fused:false name in
+      List.iter
+        (fun (stack_name, passes_of) ->
+          let u = run_workload ~passes:(passes_of wu) wu in
+          let f = run_workload ~passes:(passes_of wf) wf in
+          if f.r_cycles < u.r_cycles then improved := true;
+          Fmt.pr "%-8s %-9s %12d %12d %8d %8.2fx@." name stack_name
+            u.r_cycles f.r_cycles (u.r_cycles - f.r_cycles)
+            (float_of_int u.r_cycles /. float_of_int f.r_cycles))
+        [ ("baseline", fun (_ : W.t) -> []); ("best", best_stack) ])
+    (List.map fst Muir_nn.Models.all);
+  (* Acceptance: fusion must pay on at least one model/stack pair —
+     both lowerings are functionally checked by run_workload above. *)
+  if not !improved then begin
+    Fmt.epr "nn: graph-level fusion reduced cycles on no model/stack pair@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The serve daemon: cold vs warm batch latency over the suite          *)
 
 let serve_experiment ?json () =
@@ -1152,6 +1184,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig1", fig1);
     ("ablation", ablation);
     ("kernel", fun () -> kernel ());
+    ("nn", nn);
     ("profile", profile);
     ("timing", timing);
     ("explore", explore);
@@ -1164,7 +1197,7 @@ let run_experiments args =
       [ ("table2", table2); ("fig9", fig9); ("fig1", fig1);
         ("fig17", fun () -> ignore (fig17 ()));
         ("fig18", fun () -> ignore (fig18 ()));
-        ("table4", table4); ("ablation", ablation);
+        ("table4", table4); ("nn", nn); ("ablation", ablation);
         ("explore", explore); ("bechamel", bechamel) ]
     else
       List.map

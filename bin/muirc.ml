@@ -2,6 +2,7 @@
 
      muirc ir       prog.mc            print the compiler IR
      muirc graph    prog.mc            print the μIR circuit
+     muirc graph    model [--fuse] [--dot f]  operator graph of a model
      muirc check    prog.mc [-O pass]  static analysis (deadlock, races)
      muirc chisel   prog.mc [-o f]     emit Chisel for the accelerator
      muirc simulate prog.mc [-O pass] [--jobs N]  cycle-accurate simulation
@@ -99,6 +100,13 @@ let passes_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+let target_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE|WORKLOAD"
+        ~doc:"A .mc source file, or the name of a bundled workload.")
+
 (* All circuit-producing commands go through the staged pipeline
    (lib/muir/pipeline.ml) — the same stages the explorer and the serve
    daemon run.  File targets keep their historical behavior: no
@@ -134,20 +142,75 @@ let ir_cmd =
   Cmd.v (Cmd.info "ir" ~doc:"Print the compiler IR of a program.")
     Term.(const run $ file_arg)
 
-let graph_cmd =
-  let run path passes unroll =
-    handle_frontend (fun () ->
-        let _, c = optimized_circuit ~unroll path passes in
-        Fmt.pr "%a@." Muir_core.Graph.pp_circuit c)
-  in
-  Cmd.v (Cmd.info "graph" ~doc:"Print the μIR circuit graph.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg)
-
 let write_file f s =
   let oc = open_out f in
   output_string oc s;
   close_out oc;
   Fmt.pr "wrote %s@." f
+
+(* muirc graph: for a source file, the μIR circuit (historical
+   behavior); for a tensor-graph model (lib/nn), the operator graph
+   with inferred shapes plus the fusion and lowering reports. *)
+let graph_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE|MODEL"
+          ~doc:
+            (Fmt.str
+               "A .mc source file (prints the μIR circuit), or a \
+                tensor-graph model — %s — (prints the operator graph, \
+                shapes, and the lowering report)."
+               (String.concat ", "
+                  (List.map fst Muir_nn.Models.all))))
+  in
+  let fuse_flag =
+    Arg.(
+      value & flag
+      & info [ "fuse" ]
+          ~doc:
+            "Run graph-level op fusion (fold relu into producers, \
+             elide flatten) before lowering.  Models only.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"OUT"
+          ~doc:
+            "Write the operator graph as a Graphviz digraph with \
+             per-node output shapes.  Models only.")
+  in
+  let run target passes unroll fuse dot =
+    handle_frontend (fun () ->
+        if Sys.file_exists target then begin
+          let _, c = optimized_circuit ~unroll target passes in
+          Fmt.pr "%a@." Muir_core.Graph.pp_circuit c
+        end
+        else
+          match Muir_nn.Models.find target with
+          | None ->
+            Fmt.epr "unknown target %s: not a file, and not one of the \
+                     models (%s)@."
+              target
+              (String.concat ", " (List.map fst Muir_nn.Models.all));
+            exit 2
+          | Some build ->
+            let g = build () in
+            if fuse then Fmt.pr "%a@." Muir_nn.Fuse.pp_report (Muir_nn.Fuse.run g);
+            Fmt.pr "@[<v>%a@]" Muir_nn.Graph.pp g;
+            let _src, report = Muir_nn.Lower.lower g in
+            Fmt.pr "%a@." Muir_nn.Lower.pp_report report;
+            Option.iter (fun f -> write_file f (Muir_nn.Gdot.render g)) dot)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Print the μIR circuit of a source file, or the operator \
+          graph of a tensor-graph model.")
+    Term.(const run $ target_arg $ passes_arg $ unroll_arg $ fuse_flag
+          $ dot_arg)
 
 let dot_cmd =
   let out =
@@ -161,9 +224,10 @@ let dot_cmd =
             "Simulate first and overlay the profile: nodes colored by \
              fire count and annotated with their dominant stall cause.")
   in
-  let run path passes unroll out profile =
+  let run target passes unroll out profile =
     handle_frontend (fun () ->
-        let _, c = optimized_circuit ~unroll path passes in
+        let b = target_built ~unroll target passes in
+        let c = b.Pipeline.p_circuit in
         let heat =
           if not profile then None
           else begin
@@ -181,7 +245,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Render the μIR circuit as a Graphviz digraph.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ out $ prof_flag)
+    Term.(const run $ target_arg $ passes_arg $ unroll_arg $ out $ prof_flag)
 
 (* muirc check: static analyses + optional timing oracle, with a
    versioned JSON form and scriptable exit codes (0 clean / 1 errors /
@@ -417,9 +481,9 @@ let simulate_cmd =
             "Shard the simulation across $(docv) domains (results are \
              bit-identical for every job count).")
   in
-  let run path passes unroll jobs =
+  let run target passes unroll jobs =
     handle_frontend (fun () ->
-        let b = build_file ~unroll path passes in
+        let b = target_built ~unroll target passes in
         let r = Pipeline.simulate ~jobs b in
         report_simulation r;
         Fmt.pr "return value      %s@."
@@ -427,7 +491,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of the accelerator.")
-    Term.(const run $ file_arg $ passes_arg $ unroll_arg $ jobs_arg)
+    Term.(const run $ target_arg $ passes_arg $ unroll_arg $ jobs_arg)
 
 let profile_cmd =
   let target_arg =

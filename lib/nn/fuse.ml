@@ -1,0 +1,53 @@
+(** Graph-level operator fusion.
+
+    Two rewrites, both value-preserving bit-for-bit:
+
+    - {b relu folding}: a [Relu] whose sole producer is an
+      accumulating op ([Matmul], [Dense], [Conv2d], [Add]) and whose
+      producer has no other consumer marks the producer
+      [fused_relu] and elides itself.  The producer's final store
+      applies [fmax(acc, 0.0)] — the same float op the standalone
+      relu task would run — so the fused program writes identical
+      bits with one fewer task and one fewer inter-layer buffer.
+    - {b flatten elision}: [Flatten] is a pure re-indexing of a
+      row-major buffer, so it lowers to no task at all; the node is
+      marked [elided] and downstream operators read the producer's
+      buffer directly.
+
+    This is the graph-level mirror of [lib/muopt/fusion.ml], which
+    fuses chains of cheap ALU nodes inside one μIR task; here we fuse
+    whole operators before tasks exist. *)
+
+type report = {
+  relus_folded : int;
+  flattens_elided : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "fuse: %d relu(s) folded, %d flatten(s) elided"
+    r.relus_folded r.flattens_elided
+
+(** Fuse in place (shapes must already be inferred); returns the
+    report.  Idempotent: re-running fuses nothing new. *)
+let run (g : Graph.t) : report =
+  let relus = ref 0 and flats = ref 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.op with
+      | Op.Relu when (not n.elided) && not (List.mem n.id g.outputs) ->
+        let p = Graph.node g (List.hd n.ins) in
+        if
+          Op.can_fuse_relu p.op && (not p.fused_relu) && (not p.elided)
+          && List.length (Graph.consumers g p.id) = 1
+          && not (List.mem p.id g.outputs)
+        then begin
+          p.fused_relu <- true;
+          n.elided <- true;
+          incr relus
+        end
+      | Op.Flatten when (not n.elided) && not (List.mem n.id g.outputs) ->
+        n.elided <- true;
+        incr flats
+      | _ -> ())
+    g.nodes;
+  { relus_folded = !relus; flattens_elided = !flats }

@@ -1,0 +1,61 @@
+(** Graphviz export of operator graphs, sharing the visual vocabulary
+    of [lib/muir/dot.ml]: memory-backed tensors are cylinders /
+    palegreen, tensor-tile compute is a plum box3d, fused stages are
+    lightsalmon, plain compute is a white box.  Every node is labeled
+    with its output shape so the operator topology and the μIR circuit
+    renders read side by side. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let render (g : Graph.t) : string =
+  let buf = Buffer.create 2048 in
+  let p fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "digraph \"%s\" {" (escape g.gname);
+  p "  rankdir=TB;";
+  p "  node [fontname=\"Helvetica\", fontsize=10, style=filled];";
+  List.iter
+    (fun (n : Graph.node) ->
+      let shape, fill =
+        match n.op with
+        | Op.Input -> ("ellipse", "palegreen")
+        | Op.Weight -> ("cylinder", "khaki")
+        | _ when Lower.tiled_dense g n -> ("box3d", "plum")
+        | _ when n.fused_relu -> ("box", "lightsalmon")
+        | _ -> ("box", "white")
+      in
+      let label =
+        Fmt.str "%s\\n%s%s\\n%s" (escape n.name)
+          (escape (Op.to_string n.op))
+          (if n.fused_relu then " + relu" else "")
+          (escape (Graph.shape_to_string n.shape))
+      in
+      let extra =
+        String.concat ""
+          [ (if n.elided then
+               ", style=\"filled,dashed\", fillcolor=gray90"
+             else "");
+            (if List.mem n.id g.outputs then ", peripheries=2" else "") ]
+      in
+      p "  n%d [label=\"%s\", shape=%s, fillcolor=%s%s];" n.id label shape
+        fill extra)
+    g.nodes;
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter
+        (fun i ->
+          let src = Graph.node g i in
+          p "  n%d -> n%d [label=\"%s\"%s];" i n.id
+            (escape (Graph.shape_to_string src.shape))
+            (if n.elided || src.elided then ", style=dashed" else ""))
+        n.ins)
+    g.nodes;
+  p "}";
+  Buffer.contents buf

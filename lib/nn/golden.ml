@@ -1,0 +1,220 @@
+(** Exact golden models: evaluate an operator graph with the same
+    float operations, in the same order, as the lowered μIR program —
+    so simulated outputs must match bit for bit, not within a
+    tolerance.
+
+    The mirrored details that matter:
+    - the mini-language [fmax] lowers to an ordered-greater-than
+      compare plus select, i.e. [if a > b then a else b];
+    - [tmul] accumulates each 2x2 element from 0.0 in k order and
+      tiled matmuls sum tile-products in kt order, so a tiled
+      {!Lower.tiled_dense} has a different summation order than the
+      scalar path — {!Lower.tiled_dense} is consulted to pick the
+      matching one;
+    - scalar dense seeds its accumulator with the bias, the tiled
+      dense adds the bias in a separate sweep after the blocked
+      matmul. *)
+
+(* the ordered-compare + select that [fmax] lowers to *)
+let fmax_ (a : float) (b : float) : float = if a > b then a else b
+
+(* 2x2 tiles, row-major, mirroring lib/ir/eval.ml's tensor ops *)
+let tload (x : float array) base stride =
+  [| x.(base); x.(base + 1); x.(base + stride); x.(base + stride + 1) |]
+
+let tmul (a : float array) (b : float array) =
+  let c = Array.make 4 0.0 in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let acc = ref 0.0 in
+      for k = 0 to 1 do
+        acc := !acc +. (a.((i * 2) + k) *. b.((k * 2) + j))
+      done;
+      c.((i * 2) + j) <- !acc
+    done
+  done;
+  c
+
+let tadd (a : float array) (b : float array) =
+  Array.init 4 (fun i -> a.(i) +. b.(i))
+
+let tstore (x : float array) base stride (t : float array) =
+  x.(base) <- t.(0);
+  x.(base + 1) <- t.(1);
+  x.(base + stride) <- t.(2);
+  x.(base + stride + 1) <- t.(3)
+
+(** Evaluate [g].  [data] materializes each leaf tensor (the workload
+    layer passes [Data.floats], keeping this library free of a
+    dependency on it).  Returns the output buffers in declaration
+    order, keyed by buffer name. *)
+let run (g : Graph.t) ~(data : Lower.init -> float array) :
+    (string * float array) list =
+  let tbl : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  let value id = Hashtbl.find tbl id in
+  let eval (n : Graph.node) : float array =
+    let src i = value (List.nth n.ins i) in
+    let srcdim i = (Graph.node g (List.nth n.ins i)).shape in
+    let act v = if n.fused_relu then fmax_ v 0.0 else v in
+    match n.op with
+    | Op.Input | Op.Weight ->
+      let seed, lo, hi = Option.get n.data in
+      data { Lower.iname = n.name; seed; lo; hi; count = Graph.size n.shape }
+    | Op.Matmul ->
+      let m, k, nn =
+        match (srcdim 0, n.shape) with
+        | [ _; k ], [ m; nn ] -> (m, k, nn)
+        | _ -> assert false
+      in
+      let x = src 0 and w = src 1 in
+      let y = Array.make (m * nn) 0.0 in
+      for r = 0 to m - 1 do
+        for c = 0 to nn - 1 do
+          let acc = ref 0.0 in
+          for kk = 0 to k - 1 do
+            acc := !acc +. (x.((r * k) + kk) *. w.((kk * nn) + c))
+          done;
+          y.((r * nn) + c) <- act !acc
+        done
+      done;
+      y
+    | Op.Dense when Lower.tiled_dense g n ->
+      let m, k, nn =
+        match (srcdim 0, n.shape) with
+        | [ _; k ], [ m; nn ] -> (m, k, nn)
+        | _ -> assert false
+      in
+      let x = src 0 and w = src 1 and b = src 2 in
+      let y = Array.make (m * nn) 0.0 in
+      for rt = 0 to (m / 2) - 1 do
+        for ct = 0 to (nn / 2) - 1 do
+          let acc =
+            ref (tmul (tload x (rt * 2 * k) k) (tload w (ct * 2) nn))
+          in
+          for kt = 1 to (k / 2) - 1 do
+            acc :=
+              tadd !acc
+                (tmul
+                   (tload x ((rt * 2 * k) + (kt * 2)) k)
+                   (tload w ((kt * 2 * nn) + (ct * 2)) nn))
+          done;
+          tstore y ((rt * 2 * nn) + (ct * 2)) nn !acc
+        done
+      done;
+      for r = 0 to m - 1 do
+        for c = 0 to nn - 1 do
+          y.((r * nn) + c) <- act (y.((r * nn) + c) +. b.(c))
+        done
+      done;
+      y
+    | Op.Dense ->
+      let m, k, nn =
+        match (srcdim 0, n.shape) with
+        | [ _; k ], [ m; nn ] -> (m, k, nn)
+        | _ -> assert false
+      in
+      let x = src 0 and w = src 1 and b = src 2 in
+      let y = Array.make (m * nn) 0.0 in
+      for r = 0 to m - 1 do
+        for c = 0 to nn - 1 do
+          let acc = ref b.(c) in
+          for kk = 0 to k - 1 do
+            acc := !acc +. (x.((r * k) + kk) *. w.((kk * nn) + c))
+          done;
+          y.((r * nn) + c) <- act !acc
+        done
+      done;
+      y
+    | Op.Conv2d { kh; kw } ->
+      let c, h, w =
+        match srcdim 0 with [ c; h; w ] -> (c, h, w) | _ -> assert false
+      in
+      let f, oh, ow =
+        match n.shape with
+        | [ f; oh; ow ] -> (f, oh, ow)
+        | _ -> assert false
+      in
+      let x = src 0 and ker = src 1 and b = src 2 in
+      let y = Array.make (f * oh * ow) 0.0 in
+      for fi = 0 to f - 1 do
+        for oy = 0 to oh - 1 do
+          for ox = 0 to ow - 1 do
+            let acc = ref b.(fi) in
+            for ci = 0 to c - 1 do
+              for dy = 0 to kh - 1 do
+                for dx = 0 to kw - 1 do
+                  acc :=
+                    !acc
+                    +. x.((ci * h * w) + ((oy + dy) * w) + ox + dx)
+                       *. ker.(
+                            (fi * c * kh * kw) + (ci * kh * kw) + (dy * kw)
+                            + dx)
+                done
+              done
+            done;
+            y.((fi * oh * ow) + (oy * ow) + ox) <- act !acc
+          done
+        done
+      done;
+      y
+    | Op.Relu -> Array.map (fun v -> fmax_ v 0.0) (src 0)
+    | Op.Add ->
+      let a = src 0 and b = src 1 in
+      Array.init (Array.length a) (fun i -> act (a.(i) +. b.(i)))
+    | Op.Maxpool { ph; pw } ->
+      let c, h, w =
+        match srcdim 0 with [ c; h; w ] -> (c, h, w) | _ -> assert false
+      in
+      let oh = h / ph and ow = w / pw in
+      let x = src 0 in
+      let y = Array.make (c * oh * ow) 0.0 in
+      for ci = 0 to c - 1 do
+        for oy = 0 to oh - 1 do
+          for ox = 0 to ow - 1 do
+            let m = ref x.((ci * h * w) + (oy * ph * w) + (ox * pw)) in
+            for dy = 0 to ph - 1 do
+              for dx = 0 to pw - 1 do
+                m :=
+                  fmax_ !m
+                    x.((ci * h * w) + (((oy * ph) + dy) * w) + (ox * pw) + dx)
+              done
+            done;
+            y.((ci * oh * ow) + (oy * ow) + ox) <- !m
+          done
+        done
+      done;
+      y
+    | Op.Flatten -> Array.copy (src 0)
+    | Op.Softmax ->
+      let m, nn =
+        match n.shape with [ m; nn ] -> (m, nn) | _ -> assert false
+      in
+      let x = src 0 in
+      let y = Array.make (m * nn) 0.0 in
+      for b = 0 to m - 1 do
+        let mx = ref x.(b * nn) in
+        for c = 1 to nn - 1 do
+          mx := fmax_ !mx x.((b * nn) + c)
+        done;
+        let s = ref 0.0 in
+        for c = 0 to nn - 1 do
+          let e = Float.exp (x.((b * nn) + c) -. !mx) in
+          y.((b * nn) + c) <- e;
+          s := !s +. e
+        done;
+        for c = 0 to nn - 1 do
+          y.((b * nn) + c) <- y.((b * nn) + c) /. !s
+        done
+      done;
+      y
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      let v = if n.elided then value (List.hd n.ins) else eval n in
+      Hashtbl.replace tbl n.id v)
+    g.nodes;
+  List.map
+    (fun id ->
+      let n = Graph.node g id in
+      (n.name, value id))
+    g.outputs

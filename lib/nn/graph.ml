@@ -1,0 +1,133 @@
+(** The typed operator-graph IR: a DAG of tensor-producing nodes with
+    static shapes.  Construction is append-only and topological by
+    design — a node can only reference nodes that already exist — so
+    every pass (shape inference, fusion, lowering, the golden model)
+    walks [nodes] front to back.
+
+    Each node names the buffer holding its output tensor; those names
+    become the [global float] arrays of the lowered program — the
+    inter-layer streaming buffers between the per-operator μIR
+    tasks. *)
+
+type node = {
+  id : int;
+  op : Op.t;
+  ins : int list;  (** ids of input nodes, in operator order *)
+  name : string;   (** unique buffer name (a valid identifier) *)
+  mutable shape : int list;  (** output shape, set by {!Shape.infer} *)
+  data : (int * float * float) option;
+      (** leaf tensors: (LCG seed, lo, hi) of the deterministic data *)
+  mutable fused_relu : bool;  (** set by {!Fuse.run} *)
+  mutable elided : bool;
+      (** set by {!Fuse.run}: node lowers to no task (buffer aliases
+          its input's buffer) *)
+}
+
+type t = {
+  gname : string;
+  mutable nodes : node list;  (** topological order *)
+  mutable outputs : int list; (** ids of the graph's result tensors *)
+}
+
+exception Graph_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Graph_error s)) fmt
+
+let create gname : t = { gname; nodes = []; outputs = [] }
+
+let node (g : t) (id : int) : node =
+  match List.find_opt (fun n -> n.id = id) g.nodes with
+  | Some n -> n
+  | None -> fail "%s: no node %d" g.gname id
+
+let valid_name (s : string) : bool =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       s
+
+let add (g : t) ~(name : string) ?(data : (int * float * float) option)
+    (op : Op.t) (ins : node list) : node =
+  if not (valid_name name) then fail "%s: invalid tensor name %S" g.gname name;
+  if List.exists (fun n -> n.name = name) g.nodes then
+    fail "%s: duplicate tensor name %S" g.gname name;
+  if List.length ins <> Op.arity op then
+    fail "%s: %s takes %d input(s), got %d" g.gname (Op.to_string op)
+      (Op.arity op) (List.length ins);
+  if Op.is_leaf op && data = None then
+    fail "%s: leaf tensor %S has no dataset seed" g.gname name;
+  List.iter
+    (fun (n : node) ->
+      if not (List.memq n g.nodes) then
+        fail "%s: %s input %S is not a node of this graph" g.gname name
+          n.name)
+    ins;
+  let n =
+    { id = List.length g.nodes; op; ins = List.map (fun n -> n.id) ins;
+      name; shape = []; data; fused_relu = false; elided = false }
+  in
+  g.nodes <- g.nodes @ [ n ];
+  n
+
+(* Builder conveniences: one function per operator. *)
+
+let input g ~name ~shape ~seed ?(lo = -1.0) ?(hi = 1.0) () =
+  let n = add g ~name ~data:(seed, lo, hi) Op.Input [] in
+  n.shape <- shape;
+  n
+
+let weight g ~name ~shape ~seed ?(lo = -1.0) ?(hi = 1.0) () =
+  let n = add g ~name ~data:(seed, lo, hi) Op.Weight [] in
+  n.shape <- shape;
+  n
+
+let matmul g ~name x w = add g ~name Op.Matmul [ x; w ]
+let dense g ~name x w b = add g ~name Op.Dense [ x; w; b ]
+let conv2d g ~name ?(kh = 3) ?(kw = 3) x w b =
+  add g ~name (Op.Conv2d { kh; kw }) [ x; w; b ]
+let relu g ~name x = add g ~name Op.Relu [ x ]
+let add_ g ~name a b = add g ~name Op.Add [ a; b ]
+let maxpool g ~name ?(ph = 2) ?(pw = 2) x =
+  add g ~name (Op.Maxpool { ph; pw }) [ x ]
+let flatten g ~name x = add g ~name Op.Flatten [ x ]
+let softmax g ~name x = add g ~name Op.Softmax [ x ]
+
+let output (g : t) (n : node) : unit =
+  if not (List.memq n g.nodes) then
+    fail "%s: output %S is not a node of this graph" g.gname n.name;
+  if not (List.mem n.id g.outputs) then g.outputs <- g.outputs @ [ n.id ]
+
+(* Queries. *)
+
+let size (shape : int list) : int = List.fold_left ( * ) 1 shape
+
+let consumers (g : t) (id : int) : node list =
+  List.filter (fun n -> List.mem id n.ins) g.nodes
+
+(** Resolve a node through elided (aliasing) nodes to the buffer that
+    actually holds its value. *)
+let rec buffer (g : t) (n : node) : node =
+  if n.elided then buffer g (node g (List.hd n.ins)) else n
+
+let shape_to_string (s : int list) : string =
+  "[" ^ String.concat "x" (List.map string_of_int s) ^ "]"
+
+let pp_node (g : t) ppf (n : node) =
+  Fmt.pf ppf "#%-2d %-6s %-14s %-10s" n.id n.name (Op.to_string n.op)
+    (shape_to_string n.shape);
+  (match n.ins with
+  | [] -> ()
+  | ins ->
+    Fmt.pf ppf " <- %s"
+      (String.concat ", " (List.map (fun i -> (node g i).name) ins)));
+  if n.fused_relu then Fmt.pf ppf "  [+relu]";
+  if n.elided then Fmt.pf ppf "  [elided -> %s]" (buffer g n).name
+
+let pp ppf (g : t) =
+  let leaves, ops = List.partition (fun n -> Op.is_leaf n.op) g.nodes in
+  Fmt.pf ppf "graph %s: %d op(s), %d leaf tensor(s), output(s) %s@,"
+    g.gname (List.length ops) (List.length leaves)
+    (String.concat ", " (List.map (fun i -> (node g i).name) g.outputs));
+  List.iter (fun n -> Fmt.pf ppf "  %a@," (pp_node g) n) g.nodes

@@ -1,0 +1,248 @@
+(** Lowering: operator graph -> mini-language source.
+
+    Every non-elided operator becomes one [func void op_<name>()] —
+    which the frontend compiles to its own μIR task — and [main]
+    invokes the tasks in topological order.  Every non-elided node
+    owns a [global float] array named after it; those arrays are the
+    inter-layer streaming buffers the tasks communicate through.
+
+    A [Dense] whose three dimensions are all even takes the
+    tensor-tile path: a 2x2 blocked matmul built from
+    tload/tmul/tadd/tstore (the same shape as the 2mm[T] workload),
+    followed by a scalar bias(+relu) sweep over the output buffer.
+    Everything else lowers to scalar loop nests.  [Golden] mirrors
+    each path's float-operation order exactly, so simulated outputs
+    match the golden model bit for bit. *)
+
+type init = {
+  iname : string;  (** buffer (leaf tensor) name *)
+  seed : int;
+  lo : float;
+  hi : float;
+  count : int;     (** number of floats *)
+}
+
+type report = {
+  tasks : int;         (** operator funcs emitted (excluding [main]) *)
+  buffers : int;       (** global float arrays *)
+  floats : int;        (** total floats across all buffers *)
+  tiled : string list; (** nodes lowered through the tensor-tile path *)
+}
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "lower: %d task(s), %d buffer(s) (%d floats)%s" r.tasks
+    r.buffers r.floats
+    (match r.tiled with
+    | [] -> ""
+    | l -> ", tensor-tiled: " ^ String.concat ", " l)
+
+(** Does this node take the 2x2 tensor-tile path?  Single source of
+    truth shared with {!Golden} — the accumulation order differs
+    between the scalar and tiled lowerings, so both sides must agree
+    on which one runs. *)
+let tiled_dense (g : Graph.t) (n : Graph.node) : bool =
+  match n.op with
+  | Op.Dense -> (
+    match (Graph.node g (List.hd n.ins)).shape, n.shape with
+    | [ _; k ], [ m; nn ] -> m mod 2 = 0 && k mod 2 = 0 && nn mod 2 = 0
+    | _ -> false)
+  | _ -> false
+
+(** Leaf tensors to materialize (the workload layer turns these into
+    [Data.floats] arrays so every substrate sees identical data). *)
+let inits (g : Graph.t) : init list =
+  List.filter_map
+    (fun (n : Graph.node) ->
+      match n.data with
+      | Some (seed, lo, hi) ->
+        Some { iname = n.name; seed; lo; hi; count = Graph.size n.shape }
+      | None -> None)
+    g.nodes
+
+let lower (g : Graph.t) : string * report =
+  let buf = Buffer.create 4096 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let live = List.filter (fun (n : Graph.node) -> not n.elided) g.nodes in
+  let ops = List.filter (fun (n : Graph.node) -> not (Op.is_leaf n.op)) live in
+  (* the buffer (through elided aliases) holding input [i] of [n] *)
+  let src (n : Graph.node) i =
+    (Graph.buffer g (Graph.node g (List.nth n.ins i))).name
+  in
+  let srcdim (n : Graph.node) i = (Graph.node g (List.nth n.ins i)).shape in
+  (* apply the folded activation to the final store of an op *)
+  let act (n : Graph.node) e =
+    if n.fused_relu then Fmt.str "fmax(%s, 0.0)" e else e
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      line "global float %s[%d];" n.name (Graph.size n.shape))
+    live;
+  let tiled = ref [] in
+  List.iter
+    (fun (n : Graph.node) ->
+      line "func void op_%s() {" n.name;
+      (match n.op with
+      | Op.Input | Op.Weight -> assert false
+      | Op.Matmul ->
+        let m, k, nn =
+          match (srcdim n 0, n.shape) with
+          | [ _; k ], [ m; nn ] -> (m, k, nn)
+          | _ -> assert false
+        in
+        let x = src n 0 and w = src n 1 in
+        line "  for (int r = 0; r < %d; r = r + 1) {" m;
+        line "    for (int c = 0; c < %d; c = c + 1) {" nn;
+        line "      float acc = 0.0;";
+        line "      for (int k = 0; k < %d; k = k + 1) {" k;
+        line "        acc = acc + %s[r*%d+k] * %s[k*%d+c];" x k w nn;
+        line "      }";
+        line "      %s[r*%d+c] = %s;" n.name nn (act n "acc");
+        line "    }";
+        line "  }"
+      | Op.Dense when tiled_dense g n ->
+        tiled := !tiled @ [ n.name ];
+        let m, k, nn =
+          match (srcdim n 0, n.shape) with
+          | [ _; k ], [ m; nn ] -> (m, k, nn)
+          | _ -> assert false
+        in
+        let x = src n 0 and w = src n 1 and b = src n 2 in
+        (* 2x2 blocked matmul, the 2mm[T] idiom: tile (rt,ct) of the
+           output accumulates over k-pairs kt *)
+        line "  for (int rt = 0; rt < %d; rt = rt + 1) {" (m / 2);
+        line "    for (int ct = 0; ct < %d; ct = ct + 1) {" (nn / 2);
+        line "      tile acc = tmul(tload(%s, rt*%d, %d), tload(%s, ct*2, %d));"
+          x (2 * k) k w nn;
+        line "      for (int kt = 1; kt < %d; kt = kt + 1) {" (k / 2);
+        line
+          "        acc = tadd(acc, tmul(tload(%s, rt*%d + kt*2, %d), tload(%s, kt*%d + ct*2, %d)));"
+          x (2 * k) k w (2 * nn) nn;
+        line "      }";
+        line "      tstore(%s, rt*%d + ct*2, %d, acc);" n.name (2 * nn) nn;
+        line "    }";
+        line "  }";
+        (* scalar bias (+ folded relu) sweep over the stored tiles *)
+        line "  for (int r = 0; r < %d; r = r + 1) {" m;
+        line "    for (int c = 0; c < %d; c = c + 1) {" nn;
+        line "      %s[r*%d+c] = %s;" n.name nn
+          (act n (Fmt.str "%s[r*%d+c] + %s[c]" n.name nn b));
+        line "    }";
+        line "  }"
+      | Op.Dense ->
+        let m, k, nn =
+          match (srcdim n 0, n.shape) with
+          | [ _; k ], [ m; nn ] -> (m, k, nn)
+          | _ -> assert false
+        in
+        let x = src n 0 and w = src n 1 and b = src n 2 in
+        line "  for (int r = 0; r < %d; r = r + 1) {" m;
+        line "    for (int c = 0; c < %d; c = c + 1) {" nn;
+        line "      float acc = %s[c];" b;
+        line "      for (int k = 0; k < %d; k = k + 1) {" k;
+        line "        acc = acc + %s[r*%d+k] * %s[k*%d+c];" x k w nn;
+        line "      }";
+        line "      %s[r*%d+c] = %s;" n.name nn (act n "acc");
+        line "    }";
+        line "  }"
+      | Op.Conv2d { kh; kw } ->
+        let c, h, w =
+          match srcdim n 0 with
+          | [ c; h; w ] -> (c, h, w)
+          | _ -> assert false
+        in
+        let f, oh, ow =
+          match n.shape with
+          | [ f; oh; ow ] -> (f, oh, ow)
+          | _ -> assert false
+        in
+        let x = src n 0 and k = src n 1 and b = src n 2 in
+        line "  for (int f = 0; f < %d; f = f + 1) {" f;
+        line "    for (int oy = 0; oy < %d; oy = oy + 1) {" oh;
+        line "      for (int ox = 0; ox < %d; ox = ox + 1) {" ow;
+        line "        float acc = %s[f];" b;
+        line "        for (int c = 0; c < %d; c = c + 1) {" c;
+        line "          for (int dy = 0; dy < %d; dy = dy + 1) {" kh;
+        line "            for (int dx = 0; dx < %d; dx = dx + 1) {" kw;
+        line
+          "              acc = acc + %s[c*%d + (oy+dy)*%d + ox+dx] * %s[f*%d + c*%d + dy*%d + dx];"
+          x (h * w) w k (c * kh * kw) (kh * kw) kw;
+        line "            }";
+        line "          }";
+        line "        }";
+        line "        %s[f*%d + oy*%d + ox] = %s;" n.name (oh * ow) ow
+          (act n "acc");
+        line "      }";
+        line "    }";
+        line "  }"
+      | Op.Relu ->
+        let s = Graph.size n.shape in
+        line "  for (int i = 0; i < %d; i = i + 1) {" s;
+        line "    %s[i] = fmax(%s[i], 0.0);" n.name (src n 0);
+        line "  }"
+      | Op.Add ->
+        let s = Graph.size n.shape in
+        line "  for (int i = 0; i < %d; i = i + 1) {" s;
+        line "    %s[i] = %s;" n.name
+          (act n (Fmt.str "%s[i] + %s[i]" (src n 0) (src n 1)));
+        line "  }"
+      | Op.Maxpool { ph; pw } ->
+        let c, h, w =
+          match srcdim n 0 with
+          | [ c; h; w ] -> (c, h, w)
+          | _ -> assert false
+        in
+        let oh = h / ph and ow = w / pw in
+        let x = src n 0 in
+        line "  for (int c = 0; c < %d; c = c + 1) {" c;
+        line "    for (int oy = 0; oy < %d; oy = oy + 1) {" oh;
+        line "      for (int ox = 0; ox < %d; ox = ox + 1) {" ow;
+        line "        float m = %s[c*%d + oy*%d + ox*%d];" x (h * w)
+          (ph * w) pw;
+        line "        for (int dy = 0; dy < %d; dy = dy + 1) {" ph;
+        line "          for (int dx = 0; dx < %d; dx = dx + 1) {" pw;
+        line "            m = fmax(m, %s[c*%d + (oy*%d+dy)*%d + ox*%d+dx]);"
+          x (h * w) ph w pw;
+        line "          }";
+        line "        }";
+        line "        %s[c*%d + oy*%d + ox] = m;" n.name (oh * ow) ow;
+        line "      }";
+        line "    }";
+        line "  }"
+      | Op.Flatten ->
+        (* only reached when fusion has not elided it: a plain copy *)
+        let s = Graph.size n.shape in
+        line "  for (int i = 0; i < %d; i = i + 1) {" s;
+        line "    %s[i] = %s[i];" n.name (src n 0);
+        line "  }"
+      | Op.Softmax ->
+        let m, nn =
+          match n.shape with [ m; nn ] -> (m, nn) | _ -> assert false
+        in
+        let x = src n 0 in
+        line "  for (int b = 0; b < %d; b = b + 1) {" m;
+        line "    float m = %s[b*%d];" x nn;
+        line "    for (int c = 1; c < %d; c = c + 1) { m = fmax(m, %s[b*%d+c]); }"
+          nn x nn;
+        line "    float s = 0.0;";
+        line "    for (int c = 0; c < %d; c = c + 1) {" nn;
+        line "      float e = exp(%s[b*%d+c] - m);" x nn;
+        line "      %s[b*%d+c] = e;" n.name nn;
+        line "      s = s + e;";
+        line "    }";
+        line "    for (int c = 0; c < %d; c = c + 1) {" nn;
+        line "      %s[b*%d+c] = %s[b*%d+c] / s;" n.name nn n.name nn;
+        line "    }";
+        line "  }");
+      line "}")
+    ops;
+  line "func void main() {";
+  List.iter (fun (n : Graph.node) -> line "  op_%s();" n.name) ops;
+  line "}";
+  let floats =
+    List.fold_left (fun a (n : Graph.node) -> a + Graph.size n.shape) 0 live
+  in
+  ( Buffer.contents buf,
+    { tasks = List.length ops;
+      buffers = List.length live;
+      floats;
+      tiled = !tiled } )

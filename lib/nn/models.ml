@@ -1,0 +1,57 @@
+(** The shipped models: small but complete inference networks whose
+    every layer exercises a different operator, sized so a simulation
+    costs about as much as the existing micro-kernels (gemm is ~4k
+    MACs; the MLP is ~1.5k, the convnet ~9k).
+
+    All leaf tensors carry LCG seeds (211+ for the MLP, 221+ for the
+    convnet — disjoint from every seed in [lib/workloads]); the
+    workload layer materializes them with [Data.floats], so weights
+    are deterministic across substrates and sessions. *)
+
+(** dense(16->16) + relu -> dense(16->8) -> softmax over a batch of 4.
+    Both dense layers have all-even shapes, so they lower through the
+    2x2 tensor-tile path. *)
+let mlp () : Graph.t =
+  let g = Graph.create "mlp" in
+  let x = Graph.input g ~name:"X" ~shape:[ 4; 16 ] ~seed:211 () in
+  let w1 = Graph.weight g ~name:"W1" ~shape:[ 16; 16 ] ~seed:212 () in
+  let b1 = Graph.weight g ~name:"B1" ~shape:[ 16 ] ~seed:213 () in
+  let h1 = Graph.dense g ~name:"H1" x w1 b1 in
+  let r1 = Graph.relu g ~name:"R1" h1 in
+  let w2 = Graph.weight g ~name:"W2" ~shape:[ 16; 8 ] ~seed:214 () in
+  let b2 = Graph.weight g ~name:"B2" ~shape:[ 8 ] ~seed:215 () in
+  let h2 = Graph.dense g ~name:"H2" r1 w2 b2 in
+  let y = Graph.softmax g ~name:"Y" h2 in
+  Graph.output g y;
+  Shape.infer g
+
+(** LeNet-style convnet on a 14x14 input: conv(4 filters, 3x3) + relu
+    -> 2x2 maxpool -> conv(6 filters, 3x3) + relu -> 2x2 maxpool ->
+    flatten -> dense(24->10) -> softmax.  The batch-1 dense is odd-
+    shaped, so it stays on the scalar path. *)
+let lenet () : Graph.t =
+  let g = Graph.create "lenet" in
+  let x = Graph.input g ~name:"X" ~shape:[ 1; 14; 14 ] ~seed:221 () in
+  let k1 = Graph.weight g ~name:"K1" ~shape:[ 4; 1; 3; 3 ] ~seed:222 () in
+  let cb1 = Graph.weight g ~name:"CB1" ~shape:[ 4 ] ~seed:223 () in
+  let c1 = Graph.conv2d g ~name:"C1" x k1 cb1 in
+  let r1 = Graph.relu g ~name:"R1" c1 in
+  let p1 = Graph.maxpool g ~name:"P1" r1 in
+  let k2 = Graph.weight g ~name:"K2" ~shape:[ 6; 4; 3; 3 ] ~seed:224 () in
+  let cb2 = Graph.weight g ~name:"CB2" ~shape:[ 6 ] ~seed:225 () in
+  let c2 = Graph.conv2d g ~name:"C2" p1 k2 cb2 in
+  let r2 = Graph.relu g ~name:"R2" c2 in
+  let p2 = Graph.maxpool g ~name:"P2" r2 in
+  let f = Graph.flatten g ~name:"F" p2 in
+  let wd = Graph.weight g ~name:"WD" ~shape:[ 24; 10 ] ~seed:226 () in
+  let bd = Graph.weight g ~name:"BD" ~shape:[ 10 ] ~seed:227 () in
+  let d = Graph.dense g ~name:"D" f wd bd in
+  let y = Graph.softmax g ~name:"Y" d in
+  Graph.output g y;
+  Shape.infer g
+
+let all : (string * (unit -> Graph.t)) list =
+  [ ("mlp", mlp); ("lenet", lenet) ]
+
+let find (name : string) : (unit -> Graph.t) option =
+  List.assoc_opt name all

@@ -1,0 +1,58 @@
+(** Operators of the tensor-graph frontend (ROADMAP item 3).
+
+    The set mirrors what the paper's TensorFlow wing feeds the
+    toolchain — the building blocks of small inference networks:
+    matmul, dense (matmul + bias), 2-D valid convolution, relu,
+    max-pooling, elementwise/residual add, flatten and a numerically
+    stable softmax.  [Input] and [Weight] are the leaf tensors; both
+    carry a deterministic dataset seed so every substrate sees
+    identical data (materialized by the workload layer through
+    [lib/workloads/data.ml]'s LCG). *)
+
+type t =
+  | Input   (** graph input tensor (dataset leaf) *)
+  | Weight  (** learned parameter tensor (dataset leaf) *)
+  | Matmul  (** [m;k] x [k;n] -> [m;n] *)
+  | Dense   (** x:[m;k], w:[k;n], b:[n] -> [m;n] (matmul + bias) *)
+  | Conv2d of { kh : int; kw : int }
+      (** valid 2-D convolution, stride 1: x:[c;h;w], w:[f;c;kh;kw],
+          b:[f] -> [f;h-kh+1;w-kw+1] *)
+  | Relu    (** elementwise max(x, 0) *)
+  | Add     (** elementwise / residual add of two same-shape tensors *)
+  | Maxpool of { ph : int; pw : int }
+      (** non-overlapping max pooling: [c;h;w] -> [c;h/ph;w/pw] *)
+  | Flatten (** [d0;...;dn] -> [1; d0*...*dn] *)
+  | Softmax (** row-wise stable softmax over the last dim of [m;n] *)
+
+let to_string = function
+  | Input -> "input"
+  | Weight -> "weight"
+  | Matmul -> "matmul"
+  | Dense -> "dense"
+  | Conv2d { kh; kw } -> Fmt.str "conv2d %dx%d" kh kw
+  | Relu -> "relu"
+  | Add -> "add"
+  | Maxpool { ph; pw } -> Fmt.str "maxpool %dx%d" ph pw
+  | Flatten -> "flatten"
+  | Softmax -> "softmax"
+
+(** Required number of graph inputs (leaf tensors take none). *)
+let arity = function
+  | Input | Weight -> 0
+  | Matmul -> 2
+  | Dense -> 3
+  | Conv2d _ -> 3
+  | Relu | Flatten | Softmax -> 1
+  | Add -> 2
+  | Maxpool _ -> 1
+
+(** Is this a leaf tensor (carries data instead of computing)? *)
+let is_leaf = function Input | Weight -> true | _ -> false
+
+(** Can a following [Relu] be folded into this operator's output
+    stage?  These are the accumulating ops whose final write can apply
+    the activation for free — the graph-level mirror of how
+    [lib/muopt/fusion.ml] folds cheap ALU chains into one stage. *)
+let can_fuse_relu = function
+  | Matmul | Dense | Conv2d _ | Add -> true
+  | _ -> false

@@ -1,0 +1,104 @@
+(** Shape inference and validation for operator graphs.
+
+    [infer] fills every node's output shape from its inputs, walking
+    the (topological) node list once; ill-shaped graphs raise
+    {!Shape_error} with a message naming the offending node.  All
+    shapes are static — there is no broadcasting and no dynamic
+    dimension, exactly the contract the lowering needs to emit
+    fixed-size buffers and counted loops. *)
+
+exception Shape_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Shape_error s)) fmt
+
+let infer_node (g : Graph.t) (n : Graph.node) : int list =
+  let nm = n.name in
+  let in_ i = Graph.node g (List.nth n.ins i) in
+  let shape i = (in_ i).shape in
+  let positive s =
+    if List.exists (fun d -> d <= 0) s || s = [] then
+      fail "%s: non-positive dimension in %s" nm (Graph.shape_to_string s)
+  in
+  match n.op with
+  | Op.Input | Op.Weight ->
+    positive n.shape;
+    n.shape
+  | Op.Matmul -> (
+    match (shape 0, shape 1) with
+    | [ m; k ], [ k'; nn ] when k = k' -> [ m; nn ]
+    | [ _; k ], [ k'; _ ] ->
+      fail "%s: matmul inner dims disagree (%d vs %d)" nm k k'
+    | a, b ->
+      fail "%s: matmul wants two rank-2 tensors, got %s and %s" nm
+        (Graph.shape_to_string a) (Graph.shape_to_string b))
+  | Op.Dense -> (
+    match (shape 0, shape 1, shape 2) with
+    | [ m; k ], [ k'; nn ], [ b ] when k = k' && b = nn -> [ m; nn ]
+    | [ _; k ], [ k'; _ ], _ when k <> k' ->
+      fail "%s: dense inner dims disagree (x has %d, w has %d)" nm k k'
+    | [ _; _ ], [ _; nn ], [ b ] ->
+      fail "%s: dense bias length %d does not match %d units" nm b nn
+    | a, b, c ->
+      fail "%s: dense wants x:[m;k] w:[k;n] b:[n], got %s %s %s" nm
+        (Graph.shape_to_string a) (Graph.shape_to_string b)
+        (Graph.shape_to_string c))
+  | Op.Conv2d { kh; kw } -> (
+    match (shape 0, shape 1, shape 2) with
+    | [ c; h; w ], [ f; c'; kh'; kw' ], [ b ]
+      when c = c' && kh = kh' && kw = kw' && b = f ->
+      if h < kh || w < kw then
+        fail "%s: conv2d input %dx%d smaller than kernel %dx%d" nm h w kh
+          kw;
+      [ f; h - kh + 1; w - kw + 1 ]
+    | [ c; _; _ ], [ _; c'; _; _ ], _ when c <> c' ->
+      fail "%s: conv2d channel mismatch (input %d, kernel %d)" nm c c'
+    | a, b, c ->
+      fail "%s: conv2d wants x:[c;h;w] w:[f;c;%d;%d] b:[f], got %s %s %s"
+        nm kh kw (Graph.shape_to_string a) (Graph.shape_to_string b)
+        (Graph.shape_to_string c))
+  | Op.Relu -> shape 0
+  | Op.Add ->
+    if shape 0 <> shape 1 then
+      fail "%s: add of different shapes %s and %s" nm
+        (Graph.shape_to_string (shape 0))
+        (Graph.shape_to_string (shape 1));
+    shape 0
+  | Op.Maxpool { ph; pw } -> (
+    match shape 0 with
+    | [ c; h; w ] ->
+      if h mod ph <> 0 || w mod pw <> 0 then
+        fail "%s: maxpool %dx%d does not tile input %dx%d" nm ph pw h w;
+      [ c; h / ph; w / pw ]
+    | s ->
+      fail "%s: maxpool wants [c;h;w], got %s" nm (Graph.shape_to_string s))
+  | Op.Flatten -> [ 1; Graph.size (shape 0) ]
+  | Op.Softmax -> (
+    match shape 0 with
+    | [ m; n ] -> [ m; n ]
+    | s ->
+      fail "%s: softmax wants [rows;classes], got %s" nm
+        (Graph.shape_to_string s))
+
+(** Infer every node's shape and validate the whole graph; returns the
+    graph for chaining. *)
+let infer (g : Graph.t) : Graph.t =
+  if g.nodes = [] then fail "%s: empty graph" g.gname;
+  List.iter (fun (n : Graph.node) -> n.shape <- infer_node g n) g.nodes;
+  if g.outputs = [] then fail "%s: no outputs declared" g.gname;
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      if Op.is_leaf n.op then
+        fail "%s: output %s is a leaf tensor" g.gname n.name)
+    g.outputs;
+  (* every non-output compute node must feed something *)
+  List.iter
+    (fun (n : Graph.node) ->
+      if
+        (not (Op.is_leaf n.op))
+        && (not (List.mem n.id g.outputs))
+        && Graph.consumers g n.id = []
+      then fail "%s: dead operator %s (no consumers, not an output)"
+             g.gname n.name)
+    g.nodes;
+  g

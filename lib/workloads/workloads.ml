@@ -6,13 +6,14 @@
 
 open Muir_ir.Types
 
-type category = Poly | Cilk | Tf | Inhouse
+type category = Poly | Cilk | Tf | Inhouse | Model
 
 let category_to_string = function
   | Poly -> "Polybench/Machsuite"
   | Cilk -> "Cilk"
   | Tf -> "Tensorflow"
   | Inhouse -> "In-house"
+  | Model -> "Tensor-graph model"
 
 type t = {
   wname : string;
@@ -768,13 +769,57 @@ func void main() {
     outputs = [ "OUTPUT" ] }
 
 (* ------------------------------------------------------------------ *)
+(* Tensor-graph models (lib/nn): whole networks compiled through the
+   operator-graph frontend into multi-task μIR                          *)
+
+module Nn = Muir_nn
+
+(** Materialize a leaf-tensor spec through the same LCG as every other
+    dataset. *)
+let nn_floats (i : Nn.Lower.init) : value array =
+  Data.floats ~seed:i.seed ~lo:i.lo ~hi:i.hi i.count
+
+(** Build a registered workload from a model of [Muir_nn.Models].
+    [fused] (default) runs the graph-level fusion pass before
+    lowering; [~fused:false] gives the one-task-per-operator lowering
+    the fusion experiment compares against (registered under
+    [name^"-unfused"]). *)
+let nn_workload ?(fused = true) (name : string) : t =
+  let g =
+    match Nn.Models.find name with
+    | Some build -> build ()
+    | None -> invalid_arg ("Workloads.nn_workload: unknown model " ^ name)
+  in
+  if fused then ignore (Nn.Fuse.run g);
+  let source, report = Nn.Lower.lower g in
+  { wname = (if fused then name else name ^ "-unfused");
+    category = Model;
+    fp = true;
+    tensor = report.tiled <> [];
+    description =
+      Fmt.str "%s operator graph lowered to %d μIR task(s)%s" name
+        report.tasks
+        (if fused then ", fused" else ", unfused");
+    source;
+    inits =
+      List.map
+        (fun (i : Nn.Lower.init) -> (i.iname, nn_floats i))
+        (Nn.Lower.inits g);
+    outputs =
+      List.map (fun id -> (Nn.Graph.node g id).name) g.Nn.Graph.outputs }
+
+let mlp = nn_workload "mlp"
+let lenet = nn_workload "lenet"
+
+(* ------------------------------------------------------------------ *)
 
 let all : t list =
   [ gemm; covar; fft; fft_buf; spmv; mm2; mm3;
     fib; msort; saxpy; stencil; img_scale;
     conv; dense8; dense16; softm8; softm16;
     relu_t; mm2_t; conv_t;
-    rgb2yuv; conv1d ]
+    rgb2yuv; conv1d;
+    mlp; lenet ]
 
 let find (name : string) : t =
   match List.find_opt (fun w -> w.wname = name) all with

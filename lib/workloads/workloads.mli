@@ -1,9 +1,10 @@
 (** The benchmark programs of the paper's evaluation: Polybench /
     Machsuite loop nests, the Cilk task-parallel set, Tensorflow-
     derived layers, and the in-house tensor kernels — written in the
-    mini-language with deterministic datasets. *)
+    mini-language with deterministic datasets — plus whole-network
+    models compiled through the tensor-graph frontend ([Muir_nn]). *)
 
-type category = Poly | Cilk | Tf | Inhouse
+type category = Poly | Cilk | Tf | Inhouse | Model
 
 val category_to_string : category -> string
 
@@ -19,10 +20,17 @@ type t = {
 }
 
 val all : t list
-(** Every bundled workload (22). *)
+(** Every bundled workload: the 22 kernels plus the tensor-graph
+    models ([mlp], [lenet]). *)
 
 val find : string -> t
 (** @raise Invalid_argument for unknown names *)
+
+val nn_workload : ?fused:bool -> string -> t
+(** Lower a model of [Muir_nn.Models] to a workload.  [fused]
+    (default true) runs graph-level op fusion first; [~fused:false]
+    yields the one-task-per-operator lowering, registered under
+    ["<name>-unfused"], for the fusion experiment. *)
 
 val program : t -> Muir_ir.Program.t
 (** Compile the workload and attach its dataset. *)

@@ -247,7 +247,9 @@ let seed_golden =
     ("2mm[T]", 3906, 4485);
     ("conv[T]", 4064, 4875);
     ("rgb2yuv", 3300, 4390);
-    ("conv1d", 11498, 21013) ]
+    ("conv1d", 11498, 21013);
+    ("mlp", 8904, 10366);
+    ("lenet", 219204, 640108) ]
 
 let test_kernel_equivalence (w : W.t) () =
   let p = W.program w in
