@@ -979,6 +979,49 @@ let serve_experiment ?json () =
     failwith (Fmt.str "serve: warm round ran %d fresh simulations" warm_fresh);
   if reports cold_results <> reports warm_results then
     failwith "serve: warm reports diverge from cold reports";
+  (* Scrape the daemon's histograms: the cold round populated the
+     fresh item-latency series, the warm round the cached one. *)
+  let scrape () =
+    C.with_connection socket (fun fd ->
+        match C.rpc fd P.Metrics with
+        | P.Metrics_r text -> Muir_obs.Prom.parse text
+        | _ -> failwith "serve: unexpected response to metrics")
+  in
+  let item_hist p cached =
+    match
+      Muir_obs.Prom.find_histogram p ~name:"muir_serve_item_seconds"
+        ~labels:[ ("cached", cached) ] ()
+    with
+    | Some h -> h
+    | None ->
+      failwith
+        (Fmt.str "serve: no item-latency histogram for cached=%s" cached)
+  in
+  let scraped = scrape () in
+  let hf = item_hist scraped "false" and hc = item_hist scraped "true" in
+  let n = List.length items in
+  if hf.Muir_obs.Prom.hd_count <> n then
+    failwith
+      (Fmt.str "serve: fresh histogram counts %d observations, served %d"
+         hf.Muir_obs.Prom.hd_count n);
+  if hc.Muir_obs.Prom.hd_count <> n then
+    failwith
+      (Fmt.str "serve: cached histogram counts %d observations, served %d"
+         hc.Muir_obs.Prom.hd_count n);
+  let q h p = Muir_obs.Prom.quantile h p in
+  let cold_p50 = q hf 0.5 and cold_p99 = q hf 0.99 in
+  let warm_p50 = q hc 0.5 and warm_p99 = q hc 0.99 in
+  Fmt.pr
+    "item latency      cold p50 %.2fms p99 %.2fms   warm p50 %.3fms p99 \
+     %.3fms@."
+    (1000.0 *. cold_p50) (1000.0 *. cold_p99) (1000.0 *. warm_p50)
+    (1000.0 *. warm_p99);
+  (* The cache must not merely help on average: the slowest warm item
+     must beat the median cold item outright. *)
+  if warm_p99 >= cold_p50 then
+    failwith
+      (Fmt.str "serve: warm p99 (%.4fs) >= cold p50 (%.4fs)" warm_p99
+         cold_p50);
   C.with_connection socket (fun fd -> ignore (C.rpc fd P.Shutdown));
   ignore (Domain.join d : S.drain_summary);
   (* Restart on the same cache directory: the disk store alone must

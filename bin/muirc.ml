@@ -695,7 +695,17 @@ let explore_cmd =
              bound is already strictly dominated by a simulated point \
              (same frontier, fewer simulations).")
   in
-  let run target budget area jobs json seed strat tprune =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"OUT"
+          ~doc:
+            "Write the run's telemetry (evals, sims, prunes, cache \
+             traffic, per-stage latency histograms — the \
+             $(b,muir_dse_*) families) as Prometheus text.")
+  in
+  let run target budget area jobs json seed strat tprune metrics_file =
     handle_frontend (fun () ->
         let subject =
           if Sys.file_exists target then
@@ -713,14 +723,23 @@ let explore_cmd =
             Fmt.epr "unknown strategy %S (have: grid, greedy)@." strat;
             exit 1
         in
+        let obs =
+          Option.map (fun _ -> Muir_obs.Obs.create ()) metrics_file
+        in
         let t =
           Muir_dse.Explore.run ~strategy ~jobs ~budget_evals:budget
-            ?area_budget:area ~timing_prune:tprune ~seed subject
+            ?area_budget:area ~timing_prune:tprune ~seed ?obs subject
         in
         Muir_dse.Explore.pp_result Fmt.stdout t;
         Option.iter
           (fun f -> write_file f (Muir_dse.Explore.to_json t))
-          json)
+          json;
+        Option.iter
+          (fun f ->
+            let obs = Option.get obs in
+            write_file f
+              (Muir_obs.Prom.render obs.Muir_obs.Obs.o_metrics))
+          metrics_file)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -732,7 +751,7 @@ let explore_cmd =
           print the cycles-vs-area Pareto frontier.")
     Term.(
       const run $ target_arg $ budget_arg $ area_arg $ jobs_arg
-      $ json_arg $ seed_arg $ strategy_arg $ tprune_flag)
+      $ json_arg $ seed_arg $ strategy_arg $ tprune_flag $ metrics_arg)
 
 let synth_cmd =
   let run path passes =
@@ -781,13 +800,38 @@ let workload_cmd =
        ~doc:"Run a bundled benchmark (try --list with any name).")
     Term.(const run $ name_arg $ passes_arg $ list_flag)
 
+(* --- version: every schema/provenance fact in one place ------------ *)
+
+let muirc_version = "1.0.0"
+
+let version_cmd =
+  let run () =
+    let p = Muir_trace.Report.provenance () in
+    Fmt.pr "muirc %s@." muirc_version;
+    Fmt.pr "git rev         %s@." p.pv_git_rev;
+    Fmt.pr "dune profile    %s@." p.pv_profile;
+    Fmt.pr "report schema   %d@." p.pv_schema;
+    Fmt.pr "check schema    %s@." check_json_schema;
+    Fmt.pr "serve protocol  %s@." Muir_serve.Proto.version
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the toolchain's build provenance (git revision, dune \
+          profile) and every wire/schema version — the run-report \
+          schema, the $(b,muirc check --json) schema, and the serve \
+          socket protocol — in one place.")
+    Term.(const run $ const ())
+
 (* --- the serve daemon and its client ------------------------------- *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "muirc-serve.sock"
 
 let socket_arg =
   Arg.(
     value
-    & opt string
-        (Filename.concat (Filename.get_temp_dir_name ()) "muirc-serve.sock")
+    & opt string default_socket
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket path the daemon listens on.")
 
@@ -818,8 +862,48 @@ let serve_cmd =
              $(b,overloaded) error) when accepting it would put more \
              than $(docv) items in the queue.")
   in
-  let run socket cache_dir jobs queue =
-    let t = Muir_serve.Server.create ?cache_dir ~jobs ~queue_cap:queue () in
+  let log_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:
+            "Write one structured JSON record per daemon event (accept, \
+             admit, evaluate, reject, drain — leveled, with monotonic \
+             sequence numbers) to $(docv); $(b,-) writes to stderr.")
+  in
+  let metrics_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Keep an atomically replaced Prometheus text snapshot of \
+             the daemon's metrics current at $(docv) (every ~2s and at \
+             drain), for sidecar scrapers that cannot speak the socket \
+             protocol.")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "At drain, write the retained per-item request spans (with \
+             per-stage segments) as Chrome trace JSON to $(docv).")
+  in
+  let run socket cache_dir jobs queue log_json metrics_file trace_file =
+    let log =
+      match log_json with
+      | None -> None
+      | Some "-" -> Some (Muir_obs.Log.create (Muir_obs.Log.to_channel stderr))
+      | Some f ->
+        Some (Muir_obs.Log.create (Muir_obs.Log.to_channel (open_out f)))
+    in
+    let obs = Muir_obs.Obs.create ?log () in
+    let t =
+      Muir_serve.Server.create ?cache_dir ~jobs ~queue_cap:queue ~obs ()
+    in
     let drain _ = Muir_serve.Server.request_drain t in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
     Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
@@ -828,7 +912,9 @@ let serve_cmd =
       (match cache_dir with
       | Some d -> ", cache " ^ d
       | None -> ", memory-only cache");
-    let s = Muir_serve.Server.serve ~socket t in
+    let s =
+      Muir_serve.Server.serve ?metrics_file ?trace_file ~socket t
+    in
     Fmt.pr
       "muirc serve: drained — %d request(s), %d ok, %d error(s), %d \
        fresh, %d cached@."
@@ -843,8 +929,13 @@ let serve_cmd =
           socket, evaluated through the staged pipeline on a domain \
           pool, with a content-addressed result cache ($(b,--cache-dir) \
           makes it survive restarts), a bounded admission queue, \
-          per-request deadlines, and graceful SIGINT/SIGTERM drain.")
-    Term.(const run $ socket_arg $ cache_arg $ jobs_arg $ queue_arg)
+          per-request deadlines, and graceful SIGINT/SIGTERM drain.  \
+          Telemetry: $(b,--log-json) structured event logs, \
+          $(b,--metrics-file) Prometheus snapshots, $(b,--trace-file) \
+          Chrome request spans, plus the $(b,metrics) socket op.")
+    Term.(
+      const run $ socket_arg $ cache_arg $ jobs_arg $ queue_arg
+      $ log_json_arg $ metrics_file_arg $ trace_file_arg)
 
 let client_cmd =
   let targets_arg =
@@ -905,6 +996,15 @@ let client_cmd =
              cache hit/miss/entry counts, per-stage latency) instead of \
              running a batch.")
   in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Ask the daemon for its Prometheus text exposition, \
+             validate it with the strict parser (exit 2 on a malformed \
+             scrape), and print it verbatim.")
+  in
   let shutdown_flag =
     Arg.(
       value & flag
@@ -919,7 +1019,7 @@ let client_cmd =
   let module J = Muir_trace.Json in
   let module P = Muir_serve.Proto in
   let run socket targets stack tiles banks deadline jobs batch stats
-      shutdown json =
+      metrics shutdown json =
     let write_json resp =
       Option.iter
         (fun f -> write_file f (J.to_string (P.response_to_json resp)))
@@ -952,6 +1052,19 @@ let client_cmd =
             | resp ->
               write_json resp;
               fail_transport "unexpected response to stats")
+      else if metrics then
+        Muir_serve.Client.with_connection socket (fun fd ->
+            match Muir_serve.Client.rpc fd P.Metrics with
+            | P.Metrics_r text as resp -> (
+              write_json resp;
+              match Muir_obs.Prom.parse text with
+              | _ -> print_string text
+              | exception Muir_obs.Prom.Invalid m ->
+                Fmt.epr "muirc client: malformed metrics exposition: %s@." m;
+                exit 2)
+            | resp ->
+              write_json resp;
+              fail_transport "unexpected response to metrics")
       else if shutdown then
         Muir_serve.Client.with_connection socket (fun fd ->
             match Muir_serve.Client.rpc fd P.Shutdown with
@@ -1044,20 +1157,149 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send a batch to a running $(b,muirc serve) daemon and print \
-          the per-item results; also $(b,--stats) and $(b,--shutdown).")
+          the per-item results; also $(b,--stats), $(b,--metrics) and \
+          $(b,--shutdown).")
     Term.(
       const run $ socket_arg $ targets_arg $ stack_arg $ tiles_arg
       $ banks_arg $ deadline_arg $ jobs_arg $ batch_arg $ stats_flag
-      $ shutdown_flag $ json_arg)
+      $ metrics_flag $ shutdown_flag $ json_arg)
+
+(* --- muirc top: a live terminal view of a running daemon ----------- *)
+
+let top_cmd =
+  let module P = Muir_serve.Proto in
+  let module Pr = Muir_obs.Prom in
+  let socket_pos =
+    Arg.(
+      value
+      & pos 0 string default_socket
+      & info [] ~docv:"SOCKET"
+          ~doc:"Unix-domain socket of the daemon to watch.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single frame and exit (no screen clearing).")
+  in
+  let ms h q = 1000.0 *. Pr.quantile h q in
+  let pp_lat ppf = function
+    | None -> Fmt.pf ppf "p50      -    p99      -"
+    | Some h ->
+      Fmt.pf ppf "p50 %8.2fms  p99 %8.2fms" (ms h 0.5) (ms h 0.99)
+  in
+  let render socket (s : P.stats_payload) (p : Pr.parsed) =
+    let hist name labels = Pr.find_histogram p ~name ~labels () in
+    Fmt.pr "muirc top — %s   uptime %.0fs   queue %d%s@." socket
+      s.st_uptime_s s.st_queue_depth
+      (if s.st_draining then "   DRAINING" else "");
+    Fmt.pr "requests %d   items %d   ok %d   errors %d   fresh %d   \
+            cached %d@."
+      s.st_requests s.st_items s.st_ok s.st_errors s.st_fresh s.st_cached;
+    let probes = s.st_cache_hits + s.st_cache_misses in
+    Fmt.pr "cache    hits %d   misses %d   entries %d   disk %dB   \
+            corrupt %d   hit rate %s@."
+      s.st_cache_hits s.st_cache_misses s.st_cache_entries
+      s.st_cache_disk_bytes s.st_cache_corrupt
+      (if probes = 0 then "-"
+       else Fmt.str "%.0f%%"
+              (100.0 *. float_of_int s.st_cache_hits /. float_of_int probes));
+    Fmt.pr "@.item latency   fresh:  %a@." pp_lat
+      (hist "muir_serve_item_seconds" [ ("cached", "false") ]);
+    Fmt.pr "               cached:  %a@." pp_lat
+      (hist "muir_serve_item_seconds" [ ("cached", "true") ]);
+    Fmt.pr "@.  %-9s %8s %10s %12s %12s@." "stage" "runs" "seconds"
+      "p50" "p99";
+    List.iter
+      (fun (t : P.stage_stat) ->
+        match hist "muir_serve_stage_seconds" [ ("stage", t.tg_stage) ] with
+        | Some h when h.Pr.hd_count > 0 ->
+          Fmt.pr "  %-9s %8d %10.3f %10.2fms %10.2fms@." t.tg_stage
+            t.tg_count t.tg_seconds (ms h 0.5) (ms h 0.99)
+        | _ ->
+          Fmt.pr "  %-9s %8d %10.3f %12s %12s@." t.tg_stage t.tg_count
+            t.tg_seconds "-" "-")
+      s.st_stages;
+    let errs =
+      List.filter_map
+        (fun (sm : Pr.sample_line) ->
+          if sm.Pr.s_name = "muir_serve_errors_total" && sm.Pr.s_value > 0.0
+          then
+            Some
+              ( Option.value ~default:"?" (List.assoc_opt "code" sm.Pr.s_labels),
+                int_of_float sm.Pr.s_value )
+          else None)
+        p.Pr.p_samples
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    if errs <> [] then begin
+      Fmt.pr "@.errors by code:@.";
+      List.iter (fun (c, n) -> Fmt.pr "  %-16s %d@." c n) errs
+    end
+  in
+  let run socket interval once =
+    let clear () = if not once then Fmt.pr "\027[2J\027[H" in
+    let tick () =
+      match
+        Muir_serve.Client.with_connection socket (fun fd ->
+            let s = Muir_serve.Client.rpc fd P.Stats in
+            let m = Muir_serve.Client.rpc fd P.Metrics in
+            (s, m))
+      with
+      | P.Stats_r s, P.Metrics_r text -> (
+        match Pr.parse text with
+        | p ->
+          clear ();
+          render socket s p
+        | exception Pr.Invalid m ->
+          Fmt.epr "muirc top: malformed metrics exposition: %s@." m;
+          exit 2)
+      | _ ->
+        Fmt.epr "muirc top: unexpected response@.";
+        exit 2
+      | exception Muir_serve.Client.Transport m ->
+        if once then begin
+          Fmt.epr "muirc top: %s@." m;
+          exit 2
+        end
+        else begin
+          clear ();
+          Fmt.pr "muirc top: daemon unreachable (%s); retrying@." m
+        end
+    in
+    if once then tick ()
+    else
+      while true do
+        tick ();
+        Unix.sleepf interval
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running $(b,muirc serve) daemon: \
+          queue depth, cache hit rate, p50/p99 item latency (fresh vs \
+          cached), and the per-stage latency breakdown, refreshed every \
+          $(b,--interval) seconds ($(b,--once) prints a single frame).")
+    Term.(const run $ socket_pos $ interval_arg $ once_flag)
 
 let main =
   Cmd.group
-    (Cmd.info "muirc" ~version:"1.0.0"
+    (Cmd.info "muirc"
+       ~version:
+         (let p = Muir_trace.Report.provenance () in
+          Fmt.str "%s (rev %s, %s profile)" muirc_version p.pv_git_rev
+            p.pv_profile)
        ~doc:
          "μIR: an intermediate representation for transforming and \
           optimizing the microarchitecture of application accelerators.")
     [ ir_cmd; graph_cmd; check_cmd; dot_cmd; chisel_cmd; simulate_cmd;
-      profile_cmd; explore_cmd; synth_cmd; workload_cmd; serve_cmd;
-      client_cmd ]
+      profile_cmd; explore_cmd; synth_cmd; workload_cmd; version_cmd;
+      serve_cmd; client_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

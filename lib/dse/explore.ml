@@ -66,6 +66,9 @@ type eval = {
   e_us : float option;     (** cycles at the modeled FPGA clock *)
   e_tpruned : bool;        (** pruned by the timing bound, not area *)
   e_hint : hint option;    (** greedy guidance, from the counter bank *)
+  e_secs : float array;    (** per-stage seconds ({!Muir_pipeline.Pipeline.stage_index});
+                               telemetry only — never serialized *)
+  e_counts : int array;    (** per-stage invocations, same indexing *)
 }
 
 let pruned (e : eval) : bool = e.e_cycles = None
@@ -88,23 +91,25 @@ let timing_dominates ~(bound : int) ~(alms : int) ((c0, a0) : int * int) :
     the current frontier).  Every simulated evaluation checks the
     static bound against the measured cycles — the analysis's
     soundness contract is enforced on every run, not only in tests. *)
-let evaluate ~(subject : subject) ~(area_budget : int option)
+let evaluate ?now ~(subject : subject) ~(area_budget : int option)
     ~(dominators : (int * int) list) (cfg : Config.t) : eval =
   let module P = Muir_pipeline.Pipeline in
+  let ctl = P.ctl ?now () in
   let key = Config.key cfg in
   let b =
-    P.build ~passes:(Config.passes cfg)
+    P.build ~ctl ~passes:(Config.passes cfg)
       { P.src_name = Some subject.s_name; src_load = subject.s_program }
   in
   let c = b.P.p_circuit in
-  let m = P.model b in
+  let m = P.model ~ctl b in
   let f = m.P.m_fpga in
   let a = m.P.m_asic in
   let bound = Muir_analysis.Timing.bound_cycles c in
   let base =
     { e_key = key; e_cfg = cfg; e_alms = f.fr_alms; e_brams = f.fr_brams;
       e_mhz = f.fr_mhz; e_asic_area = a.ar_area; e_bound = bound;
-      e_cycles = None; e_us = None; e_tpruned = false; e_hint = None }
+      e_cycles = None; e_us = None; e_tpruned = false; e_hint = None;
+      e_secs = ctl.P.stage_seconds; e_counts = ctl.P.stage_counts }
   in
   let over =
     match area_budget with Some b -> f.fr_alms > b | None -> false
@@ -114,7 +119,7 @@ let evaluate ~(subject : subject) ~(area_budget : int option)
     List.exists (timing_dominates ~bound ~alms:f.fr_alms) dominators
   then { base with e_tpruned = true }
   else begin
-    let r = P.simulate b in
+    let r = P.simulate ~ctl b in
     let cycles = r.Muir_sim.Sim.stats.total_cycles in
     if bound > cycles then
       invalid_arg
@@ -214,6 +219,52 @@ let strategy_of_string = function
 (* ------------------------------------------------------------------ *)
 (* The explorer                                                         *)
 
+(** The explorer's registered metric handles ([muir_dse_*] naming
+    convention); created against the [?obs] registry when one is
+    passed.  Updated by the coordinating domain only, and only for
+    {e fresh} evaluations — a cached replay is never re-observed, so
+    [muir_dse_evals_total] always equals [fresh_evals] in the JSON. *)
+type dse_mx = {
+  dx_evals : Muir_obs.Metrics.counter;
+  dx_sims : Muir_obs.Metrics.counter;
+  dx_pruned_area : Muir_obs.Metrics.counter;
+  dx_pruned_timing : Muir_obs.Metrics.counter;
+  dx_cache_hits : Muir_obs.Metrics.counter;
+  dx_eval_seconds : Muir_obs.Metrics.hist;
+  dx_stage : Muir_obs.Metrics.hist array;
+}
+
+let make_dse_mx (obs : Muir_obs.Obs.t) : dse_mx =
+  let module M = Muir_obs.Metrics in
+  let module P = Muir_pipeline.Pipeline in
+  let r = obs.Muir_obs.Obs.o_metrics in
+  { dx_evals =
+      M.counter r ~help:"Fresh configuration evaluations."
+        "muir_dse_evals_total";
+    dx_sims =
+      M.counter r ~help:"Fresh evaluations that reached the simulator."
+        "muir_dse_sims_total";
+    dx_pruned_area =
+      M.counter r ~help:"Fresh evaluations pruned before simulation."
+        ~labels:[ ("kind", "area") ] "muir_dse_pruned_total";
+    dx_pruned_timing =
+      M.counter r ~help:"Fresh evaluations pruned before simulation."
+        ~labels:[ ("kind", "timing") ] "muir_dse_pruned_total";
+    dx_cache_hits =
+      M.counter r ~help:"Evaluations answered from the memo cache."
+        "muir_dse_cache_hits_total";
+    dx_eval_seconds =
+      M.histogram r ~help:"Whole-evaluation seconds (fresh only)."
+        "muir_dse_eval_seconds";
+    dx_stage =
+      Array.of_list
+        (List.map
+           (fun st ->
+             M.histogram r ~help:"Per-stage seconds of fresh evaluations."
+               ~labels:[ ("stage", P.stage_name st) ]
+               "muir_dse_stage_seconds")
+           P.stages) }
+
 type t = {
   x_subject : string;
   x_strategy : strategy;
@@ -242,8 +293,15 @@ let lcg (s : int) : int =
 
 let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
     ?(timing_prune = false) ?(seed = 0) ?(cache : eval Cache.t option)
-    ?grid (subject : subject) : t =
+    ?grid ?obs (subject : subject) : t =
   let cache = match cache with Some c -> c | None -> Cache.create () in
+  let mx = Option.map make_dse_mx obs in
+  let tick f = match mx with Some m -> f m | None -> () in
+  let now =
+    match obs with
+    | Some o -> Some (fun () -> Muir_obs.Obs.now o)
+    | None -> None
+  in
   let fresh_evals = ref 0 and fresh_sims = ref 0 in
   let prune_count = ref 0 and tprune_count = ref 0 and hits = ref 0 in
   let seen = Hashtbl.create 64 in
@@ -278,6 +336,7 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
           match Cache.find_opt cache k with
           | Some ev ->
             incr hits;
+            tick (fun m -> Muir_obs.Metrics.inc m.dx_cache_hits);
             Either.Left ev
           | None -> Either.Right cfg)
         uniq
@@ -303,7 +362,8 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
               (frontier (List.rev !order))
         in
         let results =
-          Pool.map ~jobs (evaluate ~subject ~area_budget ~dominators) chunk
+          Pool.map ~jobs (evaluate ?now ~subject ~area_budget ~dominators)
+            chunk
         in
         List.iter
           (fun ev ->
@@ -314,6 +374,17 @@ let run ?(strategy = Grid) ?(jobs = 1) ?(budget_evals = 96) ?area_budget
             if ev.e_tpruned then incr tprune_count
             else if pruned ev then incr prune_count
             else incr fresh_sims;
+            tick (fun m ->
+                let module M = Muir_obs.Metrics in
+                M.inc m.dx_evals;
+                if ev.e_tpruned then M.inc m.dx_pruned_timing
+                else if pruned ev then M.inc m.dx_pruned_area
+                else M.inc m.dx_sims;
+                M.observe m.dx_eval_seconds
+                  (Array.fold_left ( +. ) 0.0 ev.e_secs);
+                Array.iteri
+                  (fun i n -> if n > 0 then M.observe m.dx_stage.(i) ev.e_secs.(i))
+                  ev.e_counts);
             record ev)
           results;
         by_chunk rest

@@ -67,13 +67,14 @@ exception Deadline of stage
     carries the stage that was {e about} to run. *)
 
 type ctl = {
-  deadline : float option;     (** absolute [Unix.gettimeofday] time *)
+  deadline : float option;     (** absolute time on the [now] clock *)
+  now : unit -> float;         (** the clock; injectable for byte-stable tests *)
   stage_seconds : float array; (** wall seconds, indexed by {!stage_index} *)
   stage_counts : int array;    (** invocations, same indexing *)
 }
 
-let ctl ?deadline () : ctl =
-  { deadline;
+let ctl ?deadline ?(now = Unix.gettimeofday) () : ctl =
+  { deadline; now;
     stage_seconds = Array.make nstages 0.0;
     stage_counts = Array.make nstages 0 }
 
@@ -87,12 +88,12 @@ let staged (c : ctl option) (st : stage) (f : unit -> 'a) : 'a =
   | None -> f ()
   | Some c ->
     (match c.deadline with
-    | Some d when Unix.gettimeofday () > d -> raise (Deadline st)
+    | Some d when c.now () > d -> raise (Deadline st)
     | _ -> ());
-    let t0 = Unix.gettimeofday () in
+    let t0 = c.now () in
     let r = f () in
     let i = stage_index st in
-    c.stage_seconds.(i) <- c.stage_seconds.(i) +. (Unix.gettimeofday () -. t0);
+    c.stage_seconds.(i) <- c.stage_seconds.(i) +. (c.now () -. t0);
     c.stage_counts.(i) <- c.stage_counts.(i) + 1;
     r
 

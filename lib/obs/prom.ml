@@ -1,0 +1,423 @@
+(** Prometheus text exposition (format version 0.0.4): a deterministic
+    renderer over {!Metrics}, and a strict line parser used by the
+    tests, the CI smoke and [muirc client --metrics] to refuse a
+    malformed scrape before anything downstream sees it.
+
+    The renderer sorts families by name and series by canonical label
+    string, so two registries with the same contents render
+    byte-identically regardless of registration order.  The parser is
+    deliberately stricter than Prometheus' own (single-space
+    separators, [# TYPE] required before any sample of a family, no
+    duplicate samples) and additionally checks histogram invariants:
+    every bucket series must carry a [+Inf] bucket whose value equals
+    its [_count], with cumulative bucket values non-decreasing in
+    [le]. *)
+
+module J = Muir_trace.Json
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let escape_help (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str (f : float) : string =
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else J.float_repr f
+
+let label_str (ls : Metrics.labels) : string =
+  match ls with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Fmt.str "%s=\"%s\"" k (escape_label_value v))
+           ls)
+    ^ "}"
+
+let sample (buf : Buffer.t) (name : string) (ls : Metrics.labels)
+    (value : string) : unit =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (label_str ls);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let render (t : Metrics.t) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (f : Metrics.family) ->
+      if f.f_help <> "" then
+        Buffer.add_string buf
+          (Fmt.str "# HELP %s %s\n" f.f_name (escape_help f.f_help));
+      Buffer.add_string buf
+        (Fmt.str "# TYPE %s %s\n" f.f_name (Metrics.kind_name f.f_kind));
+      let srs =
+        List.sort
+          (fun (a : Metrics.series) (b : Metrics.series) ->
+            compare (label_str a.sr_labels) (label_str b.sr_labels))
+          f.f_series
+      in
+      List.iter
+        (fun (s : Metrics.series) ->
+          match s.sr_value with
+          | Metrics.VCounter c ->
+            sample buf f.f_name s.sr_labels (string_of_int c.cv)
+          | Metrics.VGauge g ->
+            sample buf f.f_name s.sr_labels (string_of_int g.gv)
+          | Metrics.VHist h ->
+            let cum = Metrics.cumulative h in
+            Array.iteri
+              (fun i bound ->
+                sample buf (f.f_name ^ "_bucket")
+                  (s.sr_labels @ [ ("le", float_str bound) ])
+                  (string_of_int cum.(i)))
+              h.hb;
+            sample buf (f.f_name ^ "_bucket")
+              (s.sr_labels @ [ ("le", "+Inf") ])
+              (string_of_int cum.(Array.length cum - 1));
+            sample buf (f.f_name ^ "_sum") s.sr_labels (float_str h.hsum);
+            sample buf (f.f_name ^ "_count") s.sr_labels (string_of_int h.hn))
+        srs)
+    (Metrics.families t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The strict parser                                                   *)
+
+exception Invalid of string
+
+type sample_line = {
+  s_name : string;
+  s_labels : (string * string) list;  (** in source order, [le] included *)
+  s_value : float;
+}
+
+type parsed = {
+  p_types : (string * string) list;  (** family → kind, declaration order *)
+  p_samples : sample_line list;      (** source order *)
+}
+
+let fail line fmt =
+  Fmt.kstr (fun m -> raise (Invalid (Fmt.str "line %d: %s" line m))) fmt
+
+let parse_value ~line (s : string) : float =
+  match s with
+  | "+Inf" | "Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> f
+    | _ -> fail line "invalid sample value %S" s)
+
+(** Parse [name{l="v",...} value]; positions are byte offsets used only
+    for error messages. *)
+let parse_sample ~line (s : string) : sample_line =
+  let n = String.length s in
+  let i = ref 0 in
+  while
+    !i < n
+    && (match s.[!i] with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+       | _ -> false)
+  do
+    incr i
+  done;
+  let name = String.sub s 0 !i in
+  if not (Metrics.valid_metric_name name) then
+    fail line "invalid metric name %S" name;
+  let labels = ref [] in
+  if !i < n && s.[!i] = '{' then begin
+    incr i;
+    let parsing = ref true in
+    while !parsing do
+      if !i >= n then fail line "unterminated label set";
+      if s.[!i] = '}' then begin
+        incr i;
+        parsing := false
+      end
+      else begin
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+        do
+          incr i
+        done;
+        let lname = String.sub s start (!i - start) in
+        if not (Metrics.valid_label_name lname) then
+          fail line "invalid label name %S" lname;
+        if not (!i + 1 < n && s.[!i] = '=' && s.[!i + 1] = '"') then
+          fail line "label %s: expected =\"" lname;
+        i := !i + 2;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then fail line "unterminated label value";
+          (match s.[!i] with
+          | '"' ->
+            closed := true;
+            incr i
+          | '\\' ->
+            if !i + 1 >= n then fail line "dangling escape";
+            (match s.[!i + 1] with
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> fail line "invalid escape \\%c" c);
+            i := !i + 2
+          | c ->
+            Buffer.add_char buf c;
+            incr i)
+        done;
+        if List.mem_assoc lname !labels then
+          fail line "duplicate label %S" lname;
+        labels := (lname, Buffer.contents buf) :: !labels;
+        if !i < n && s.[!i] = ',' then incr i
+        else if !i < n && s.[!i] = '}' then ()
+        else if !i >= n then fail line "unterminated label set"
+        else fail line "expected , or } after label %s" lname
+      end
+    done
+  end;
+  if !i >= n || s.[!i] <> ' ' then fail line "expected single space before value";
+  incr i;
+  let value = String.sub s !i (n - !i) in
+  if value = "" || String.contains value ' ' then
+    fail line "expected exactly one value after single space";
+  { s_name = name; s_labels = List.rev !labels;
+    s_value = parse_value ~line value }
+
+(** The family a sample belongs to under [types]: its own name, or the
+    base name when a [_bucket]/[_sum]/[_count] suffix points at a
+    declared histogram. *)
+let family_of ~(types : (string * string) list) (name : string) :
+    string option =
+  if List.mem_assoc name types then Some name
+  else
+    let strip suf =
+      if Filename.check_suffix name suf then
+        Some (Filename.chop_suffix name suf)
+      else None
+    in
+    let base =
+      match strip "_bucket" with
+      | Some b -> Some b
+      | None -> (
+        match strip "_sum" with
+        | Some b -> Some b
+        | None -> strip "_count")
+    in
+    match base with
+    | Some b when List.assoc_opt b types = Some "histogram" -> Some b
+    | _ -> None
+
+let valid_kinds = [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+
+let check_histograms (p : parsed) : unit =
+  List.iteri
+    (fun _ (fam, kind) ->
+      if kind = "histogram" then begin
+        (* Group bucket samples by their non-le label set. *)
+        let groups : (string, (float * float) list ref) Hashtbl.t =
+          Hashtbl.create 4
+        in
+        let group_key ls =
+          label_str
+            (List.sort compare (List.filter (fun (k, _) -> k <> "le") ls))
+        in
+        List.iter
+          (fun s ->
+            if s.s_name = fam ^ "_bucket" then begin
+              let le =
+                match List.assoc_opt "le" s.s_labels with
+                | Some v -> parse_value ~line:0 v
+                | None -> raise (Invalid (fam ^ ": bucket without le label"))
+              in
+              let key = group_key s.s_labels in
+              let cell =
+                match Hashtbl.find_opt groups key with
+                | Some c -> c
+                | None ->
+                  let c = ref [] in
+                  Hashtbl.add groups key c;
+                  c
+              in
+              cell := (le, s.s_value) :: !cell
+            end)
+          p.p_samples;
+        Hashtbl.iter
+          (fun key cell ->
+            let buckets =
+              List.sort (fun (a, _) (b, _) -> compare a b) !cell
+            in
+            (match List.rev buckets with
+            | (le, last) :: _ ->
+              if le <> Float.infinity then
+                raise (Invalid (Fmt.str "%s%s: no +Inf bucket" fam key));
+              let count =
+                List.find_opt
+                  (fun s ->
+                    s.s_name = fam ^ "_count" && group_key s.s_labels = key)
+                  p.p_samples
+              in
+              (match count with
+              | None ->
+                raise (Invalid (Fmt.str "%s%s: missing _count" fam key))
+              | Some c ->
+                if c.s_value <> last then
+                  raise
+                    (Invalid
+                       (Fmt.str "%s%s: _count %g <> +Inf bucket %g" fam key
+                          c.s_value last)));
+              if
+                not
+                  (List.exists
+                     (fun s ->
+                       s.s_name = fam ^ "_sum" && group_key s.s_labels = key)
+                     p.p_samples)
+              then raise (Invalid (Fmt.str "%s%s: missing _sum" fam key))
+            | [] -> ());
+            ignore
+              (List.fold_left
+                 (fun prev (_, v) ->
+                   if v < prev then
+                     raise
+                       (Invalid
+                          (Fmt.str "%s%s: bucket values decrease" fam key));
+                   v)
+                 0.0 buckets))
+          groups
+      end)
+    p.p_types
+
+(** Parse a whole exposition strictly.
+    @raise Invalid with a line-numbered reason on the first violation *)
+let parse (text : string) : parsed =
+  let lines = String.split_on_char '\n' text in
+  let types = ref [] and samples = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      if raw = "" then ()  (* blank lines and the trailing newline *)
+      else if String.length raw >= 2 && String.sub raw 0 2 = "# " then begin
+        match String.split_on_char ' ' raw with
+        | "#" :: "TYPE" :: name :: [ kind ] ->
+          if not (Metrics.valid_metric_name name) then
+            fail line "TYPE with invalid name %S" name;
+          if not (List.mem kind valid_kinds) then
+            fail line "unknown TYPE %S" kind;
+          if List.mem_assoc name !types then
+            fail line "duplicate TYPE for %s" name;
+          types := !types @ [ (name, kind) ]
+        | "#" :: "HELP" :: name :: _ ->
+          if not (Metrics.valid_metric_name name) then
+            fail line "HELP with invalid name %S" name;
+          if List.mem_assoc name !types then
+            fail line "HELP for %s after its TYPE" name
+        | _ -> fail line "malformed comment (only # HELP / # TYPE allowed)"
+      end
+      else if String.length raw >= 1 && raw.[0] = '#' then
+        fail line "malformed comment"
+      else begin
+        let s = parse_sample ~line raw in
+        (match family_of ~types:!types s.s_name with
+        | Some _ -> ()
+        | None -> fail line "sample %s has no preceding # TYPE" s.s_name);
+        let key = s.s_name ^ label_str s.s_labels in
+        if Hashtbl.mem seen key then fail line "duplicate sample %s" key;
+        Hashtbl.add seen key ();
+        samples := s :: !samples
+      end)
+    lines;
+  let p = { p_types = !types; p_samples = List.rev !samples } in
+  check_histograms p;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Readers over a parsed exposition                                    *)
+
+let find_sample (p : parsed) ~(name : string)
+    ?(labels : (string * string) list = []) () : float option =
+  let want = List.sort compare labels in
+  List.find_map
+    (fun s ->
+      if s.s_name = name && List.sort compare s.s_labels = want then
+        Some s.s_value
+      else None)
+    p.p_samples
+
+type histdata = {
+  hd_bounds : float array;  (** finite bounds, ascending *)
+  hd_cum : int array;       (** cumulative counts incl. the +Inf slot *)
+  hd_sum : float;
+  hd_count : int;
+}
+
+(** Reconstruct one histogram series (identified by its non-le labels)
+    from a parsed exposition. *)
+let find_histogram (p : parsed) ~(name : string)
+    ?(labels : (string * string) list = []) () : histdata option =
+  let want = List.sort compare labels in
+  let buckets =
+    List.filter_map
+      (fun s ->
+        if s.s_name <> name ^ "_bucket" then None
+        else
+          let le = List.assoc_opt "le" s.s_labels in
+          let rest =
+            List.sort compare
+              (List.filter (fun (k, _) -> k <> "le") s.s_labels)
+          in
+          match le with
+          | Some v when rest = want ->
+            Some (parse_value ~line:0 v, int_of_float s.s_value)
+          | _ -> None)
+      p.p_samples
+  in
+  if buckets = [] then None
+  else begin
+    let buckets = List.sort (fun (a, _) (b, _) -> compare a b) buckets in
+    let finite = List.filter (fun (le, _) -> Float.is_finite le) buckets in
+    let sum =
+      Option.value ~default:0.0 (find_sample p ~name:(name ^ "_sum") ~labels ())
+    in
+    let count =
+      int_of_float
+        (Option.value ~default:0.0
+           (find_sample p ~name:(name ^ "_count") ~labels ()))
+    in
+    Some
+      { hd_bounds = Array.of_list (List.map fst finite);
+        hd_cum = Array.of_list (List.map snd buckets);
+        hd_sum = sum;
+        hd_count = count }
+  end
+
+let quantile (h : histdata) (q : float) : float =
+  Metrics.quantile_of ~bounds:h.hd_bounds ~cum:h.hd_cum q

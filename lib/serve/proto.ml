@@ -17,6 +17,7 @@
     {v
     {"muirc":"serve-v1","op":"run","items":[ITEM, ...]}
     {"muirc":"serve-v1","op":"stats"}
+    {"muirc":"serve-v1","op":"metrics"}
     {"muirc":"serve-v1","op":"shutdown"}
     v}
 
@@ -143,6 +144,7 @@ type item = {
 type request =
   | Run of item list
   | Stats
+  | Metrics  (** Prometheus text exposition of the daemon's registry *)
   | Shutdown
 
 exception Bad_request of string
@@ -170,6 +172,7 @@ let request_to_json (r : request) : J.t =
   match r with
   | Run items -> op "run" [ ("items", J.Arr (List.map item_to_json items)) ]
   | Stats -> op "stats" []
+  | Metrics -> op "metrics" []
   | Shutdown -> op "shutdown" []
 
 let bad fmt = Fmt.kstr (fun m -> raise (Bad_request m)) fmt
@@ -227,6 +230,7 @@ let request_of_json (j : J.t) : request =
     | Some items -> Run (items_of_json items)
     | None -> bad "run request missing \"items\"")
   | Some (J.Str "stats") -> Stats
+  | Some (J.Str "metrics") -> Metrics
   | Some (J.Str "shutdown") -> Shutdown
   | Some (J.Str op) -> bad "unknown op %S" op
   | _ -> bad "missing \"op\""
@@ -268,12 +272,14 @@ type stats_payload = {
   st_cache_misses : int;
   st_cache_entries : int;
   st_cache_corrupt : int;
+  st_cache_disk_bytes : int;
   st_stages : stage_stat list;
 }
 
 type response =
   | Results of { results : result_ list; fresh : int; cached : int; errors : int }
   | Stats_r of stats_payload
+  | Metrics_r of string  (** Prometheus text exposition, verbatim *)
   | Bye
   | Error_r of { code : string; msg : string }
 
@@ -315,7 +321,8 @@ let response_to_json (r : response) : J.t =
             [ ("hits", J.Int s.st_cache_hits);
               ("misses", J.Int s.st_cache_misses);
               ("entries", J.Int s.st_cache_entries);
-              ("corrupt", J.Int s.st_cache_corrupt) ] );
+              ("corrupt", J.Int s.st_cache_corrupt);
+              ("disk_bytes", J.Int s.st_cache_disk_bytes) ] );
         ( "stages",
           J.Arr
             (List.map
@@ -325,6 +332,7 @@ let response_to_json (r : response) : J.t =
                      ("count", J.Int t.tg_count);
                      ("seconds", J.Float t.tg_seconds) ])
                s.st_stages) ) ]
+  | Metrics_r text -> J.Obj [ ("op", J.Str "metrics"); ("text", J.Str text) ]
   | Bye -> J.Obj [ ("op", J.Str "bye") ]
   | Error_r { code; msg } ->
     J.Obj [ ("op", J.Str "error"); ("code", J.Str code); ("msg", J.Str msg) ]
@@ -417,7 +425,11 @@ let response_of_json (j : J.t) : response =
         st_cache_misses = cache "misses";
         st_cache_entries = cache "entries";
         st_cache_corrupt = cache "corrupt";
+        st_cache_disk_bytes = cache "disk_bytes";
         st_stages = stages }
+  | Some (J.Str "metrics") ->
+    Metrics_r
+      (match m "text" with Some (J.Str t) -> t | _ -> badr "metrics response missing text")
   | Some (J.Str "bye") -> Bye
   | Some (J.Str "error") ->
     Error_r

@@ -37,9 +37,16 @@ type t = {
   rc_dir : string option;            (** [None] = memory-only *)
   rc_mem : string Muir_dse.Cache.t;  (** key → report-JSON payload *)
   mutable rc_corrupt : int;          (** entries discarded at load *)
+  mutable rc_bytes : int;            (** on-disk bytes of live entries *)
 }
 
-type stats = { hits : int; misses : int; entries : int; corrupt : int }
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  corrupt : int;
+  disk_bytes : int;  (** 0 for memory-only caches *)
+}
 
 let magic = "muir-rcache-v1"
 
@@ -105,11 +112,15 @@ let load_dir (t : t) (dir : string) : unit =
     (fun name ->
       if Filename.check_suffix name ".rc" then begin
         let path = Filename.concat dir name in
-        match decode_entry ~path (read_file path) with
-        | Ok (key, payload) -> Muir_dse.Cache.seed t.rc_mem key payload
-        | Error _ ->
-          (try Sys.remove path with Sys_error _ -> ());
-          t.rc_corrupt <- t.rc_corrupt + 1
+        match read_file path with
+        | contents -> (
+          match decode_entry ~path contents with
+          | Ok (key, payload) ->
+            Muir_dse.Cache.seed t.rc_mem key payload;
+            t.rc_bytes <- t.rc_bytes + String.length contents
+          | Error _ ->
+            (try Sys.remove path with Sys_error _ -> ());
+            t.rc_corrupt <- t.rc_corrupt + 1)
         | exception Sys_error _ -> t.rc_corrupt <- t.rc_corrupt + 1
       end)
     (Sys.readdir dir)
@@ -118,7 +129,8 @@ let load_dir (t : t) (dir : string) : unit =
     created if missing.  [?dir:None] gives a memory-only cache with
     identical semantics minus persistence. *)
 let create ?dir () : t =
-  let t = { rc_dir = dir; rc_mem = Muir_dse.Cache.create (); rc_corrupt = 0 } in
+  let t = { rc_dir = dir; rc_mem = Muir_dse.Cache.create ();
+            rc_corrupt = 0; rc_bytes = 0 } in
   (match dir with
   | None -> ()
   | Some d ->
@@ -136,9 +148,12 @@ let add (t : t) (key : string) (payload : string) : unit =
   Muir_dse.Cache.add t.rc_mem key payload;
   match t.rc_dir with
   | None -> ()
-  | Some dir -> write_atomic dir (entry_path dir key) (encode_entry key payload)
+  | Some dir ->
+    let contents = encode_entry key payload in
+    write_atomic dir (entry_path dir key) contents;
+    t.rc_bytes <- t.rc_bytes + String.length contents
 
 let stats (t : t) : stats =
   let s = Muir_dse.Cache.stats t.rc_mem in
   { hits = s.c_hits; misses = s.c_misses; entries = s.c_entries;
-    corrupt = t.rc_corrupt }
+    corrupt = t.rc_corrupt; disk_bytes = t.rc_bytes }

@@ -348,6 +348,118 @@ let test_cache_corruption_recovery () =
   in
   Alcotest.(check int) "rebuilt store answers everything" 0 fresh3
 
+(* --- telemetry: the metrics op and the observation invariant --------- *)
+
+module Prom = Muir_obs.Prom
+module Obs = Muir_obs.Obs
+
+let scrape (t : Server.t) : Prom.parsed =
+  match Server.handle t Proto.Metrics with
+  | Proto.Metrics_r text -> Prom.parse text
+  | _ -> Alcotest.fail "expected a metrics response"
+
+let sample p name = Prom.find_sample p ~name ()
+
+let item_hist p cached =
+  match
+    Prom.find_histogram p ~name:"muir_serve_item_seconds"
+      ~labels:[ ("cached", cached) ] ()
+  with
+  | Some hd -> hd
+  | None -> Alcotest.fail ("no item histogram for cached=" ^ cached)
+
+let test_metrics_op () =
+  let obs = Obs.create ~clock:(fun () -> 42.0) () in
+  let t = Server.create ~obs () in
+  (* A scrape before any traffic already exposes every family, at
+     zero, and parses strictly. *)
+  let p0 = scrape t in
+  Alcotest.(check (option (float 1e-9))) "items start at zero" (Some 0.0)
+    (sample p0 "muir_serve_items_total");
+  Alcotest.(check (option string)) "errors family pre-registered"
+    (Some "counter")
+    (List.assoc_opt "muir_serve_errors_total" p0.Prom.p_types);
+  (* One batch: a fresh evaluation, an in-batch duplicate, a failure. *)
+  let batch =
+    Proto.Run
+      [ item ~id:0 (Proto.Workload "saxpy");
+        item ~id:1 (Proto.Workload "saxpy");
+        item ~id:2 (Proto.Workload "no-such-workload") ]
+  in
+  let _, fresh, cached, errors = results_of (Server.handle t batch) in
+  Alcotest.(check int) "one fresh" 1 fresh;
+  Alcotest.(check int) "one dup" 1 cached;
+  Alcotest.(check int) "one error" 1 errors;
+  let p = scrape t in
+  Alcotest.(check (option (float 1e-9))) "requests" (Some 1.0)
+    (sample p "muir_serve_requests_total");
+  Alcotest.(check (option (float 1e-9))) "items" (Some 3.0)
+    (sample p "muir_serve_items_total");
+  Alcotest.(check (option (float 1e-9))) "ok" (Some 2.0)
+    (sample p "muir_serve_ok_total");
+  Alcotest.(check (option (float 1e-9))) "error coded" (Some 1.0)
+    (Prom.find_sample p ~name:"muir_serve_errors_total"
+       ~labels:[ ("code", "bad_request") ] ());
+  (* The invariant the CI smoke reconciles: exactly one latency
+     observation per item, split fresh/cached, totalling ok+errors.
+     The failed item counts as fresh (it was not answered from
+     cache). *)
+  let hf = item_hist p "false" and hc = item_hist p "true" in
+  Alcotest.(check int) "fresh observations" 2 hf.Prom.hd_count;
+  Alcotest.(check int) "cached observations" 1 hc.Prom.hd_count;
+  Alcotest.(check int) "observations = ok + errors" 3
+    (hf.Prom.hd_count + hc.Prom.hd_count);
+  (* A second identical batch: everything answers from the cache or
+     fails again; the invariant holds cumulatively. *)
+  let _ = Server.handle t batch in
+  let p2 = scrape t in
+  let hf2 = item_hist p2 "false" and hc2 = item_hist p2 "true" in
+  Alcotest.(check int) "cumulative observations" 6
+    (hf2.Prom.hd_count + hc2.Prom.hd_count);
+  Alcotest.(check int) "round 2 hits are cached" 3 hc2.Prom.hd_count;
+  (* Per-stage histograms saw exactly the one fresh evaluation. *)
+  (match
+     Prom.find_histogram p2 ~name:"muir_serve_stage_seconds"
+       ~labels:[ ("stage", "simulate") ] ()
+   with
+  | Some hd -> Alcotest.(check int) "one simulation staged" 1 hd.Prom.hd_count
+  | None -> Alcotest.fail "no simulate stage histogram");
+  (* The fixed clock pins the time-derived series. *)
+  Alcotest.(check (option (float 1e-9))) "uptime from injected clock"
+    (Some 0.0)
+    (sample p2 "muir_serve_uptime_seconds")
+
+let test_rcache_disk_bytes () =
+  let dir = fresh_dir () in
+  let t1 = Server.create ~cache_dir:dir () in
+  let _ = Server.handle t1 (Proto.Run (suite_items ())) in
+  let on_disk () =
+    Array.fold_left
+      (fun acc f ->
+        acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (Sys.readdir dir)
+  in
+  let disk_bytes t =
+    match Server.handle t Proto.Stats with
+    | Proto.Stats_r s -> s.Proto.st_cache_disk_bytes
+    | _ -> Alcotest.fail "expected stats"
+  in
+  Alcotest.(check bool) "entries written" true (on_disk () > 0);
+  Alcotest.(check int) "gauge matches the files" (on_disk ())
+    (disk_bytes t1);
+  (* A fresh daemon re-derives the same total from the load scan. *)
+  let t2 = Server.create ~cache_dir:dir () in
+  Alcotest.(check int) "restart re-derives the total" (on_disk ())
+    (disk_bytes t2);
+  (* A memory-only daemon reports zero. *)
+  Alcotest.(check int) "memory-only is zero" 0
+    (disk_bytes (Server.create ()));
+  (* ... and the metrics op exposes the same number. *)
+  let p = scrape t2 in
+  Alcotest.(check (option (float 1e-9))) "gauge in the exposition"
+    (Some (float_of_int (on_disk ())))
+    (Prom.find_sample p ~name:"muir_serve_rcache_disk_bytes" ())
+
 (* --- pipeline equivalence -------------------------------------------- *)
 
 let test_pipeline_matches_direct () =
@@ -526,12 +638,16 @@ let () =
             test_handle_malformed;
           Alcotest.test_case "item errors contained" `Quick
             test_item_errors_contained;
-          Alcotest.test_case "in-batch dedup" `Quick test_batch_dedup ] );
+          Alcotest.test_case "in-batch dedup" `Quick test_batch_dedup;
+          Alcotest.test_case "metrics op reconciles" `Quick
+            test_metrics_op ] );
       ( "cache",
         [ Alcotest.test_case "restart byte-identity" `Quick
             test_restart_byte_identity;
           Alcotest.test_case "corruption detected and rebuilt" `Quick
-            test_cache_corruption_recovery ] );
+            test_cache_corruption_recovery;
+          Alcotest.test_case "disk bytes accounted" `Quick
+            test_rcache_disk_bytes ] );
       ( "pipeline",
         [ Alcotest.test_case "matches direct toolchain" `Quick
             test_pipeline_matches_direct;
